@@ -1,0 +1,171 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each to its experiment). Each benchmark
+// executes the full experiment per iteration and logs the rendered
+// table, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at bench fidelity (QuickOptions). Use
+// cmd/klocbench for full-fidelity runs of individual experiments.
+package kloc_test
+
+import (
+	"testing"
+
+	"kloc"
+)
+
+// benchOptions bounds wall time on the benchmark path: Fig 6 alone is a
+// 9-point sweep with four strategies each.
+func benchOptions() kloc.Options {
+	return kloc.QuickOptions()
+}
+
+func runExperiment(b *testing.B, name string, opts kloc.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := kloc.Experiment(name, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table)
+		}
+	}
+}
+
+// BenchmarkFig2a regenerates Figure 2a (kernel vs app footprint).
+func BenchmarkFig2a(b *testing.B) { runExperiment(b, "fig2a", benchOptions()) }
+
+// BenchmarkFig2b regenerates Figure 2b (allocation shares, small/large).
+func BenchmarkFig2b(b *testing.B) { runExperiment(b, "fig2b", benchOptions()) }
+
+// BenchmarkFig2c regenerates Figure 2c (memory-reference split).
+func BenchmarkFig2c(b *testing.B) { runExperiment(b, "fig2c", benchOptions()) }
+
+// BenchmarkFig2d regenerates Figure 2d (object lifetimes).
+func BenchmarkFig2d(b *testing.B) { runExperiment(b, "fig2d", benchOptions()) }
+
+// BenchmarkFig4 regenerates Figure 4 (two-tier speedups).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4", benchOptions()) }
+
+// BenchmarkTable6 regenerates Table 6 (KLOC metadata overhead).
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", benchOptions()) }
+
+// BenchmarkFig5a regenerates Figure 5a (Optane Memory-Mode speedups).
+func BenchmarkFig5a(b *testing.B) { runExperiment(b, "fig5a", benchOptions()) }
+
+// BenchmarkFig5b regenerates Figure 5b (slow-memory allocations and
+// migrations for RocksDB).
+func BenchmarkFig5b(b *testing.B) { runExperiment(b, "fig5b", benchOptions()) }
+
+// BenchmarkFig5c regenerates Figure 5c (kernel-object group
+// sensitivity).
+func BenchmarkFig5c(b *testing.B) { runExperiment(b, "fig5c", benchOptions()) }
+
+// BenchmarkFig6 regenerates Figure 6 (capacity/bandwidth sweep). The
+// bench restricts the workload set to bound wall time; klocbench runs
+// the full set.
+func BenchmarkFig6(b *testing.B) {
+	opts := benchOptions()
+	opts.Workloads = []string{"rocksdb", "redis"}
+	runExperiment(b, "fig6", opts)
+}
+
+// BenchmarkPrefetch regenerates the §7.3 readahead study.
+func BenchmarkPrefetch(b *testing.B) { runExperiment(b, "prefetch", benchOptions()) }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func benchAblation(b *testing.B, mod func(*kloc.KLOCConfig), workload string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := kloc.DefaultKLOCConfig()
+		mod(&cfg)
+		opts := benchOptions()
+		res, err := kloc.Run(kloc.RunConfig{
+			Policy:     kloc.NewKLOCs(cfg),
+			PolicyName: "klocs",
+			Workload:   workload,
+			ScaleDiv:   opts.ScaleDiv,
+			Duration:   opts.Duration,
+			Seed:       opts.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Throughput, "sim-ops/sec")
+	}
+}
+
+// BenchmarkAblationPerCPU disables the §4.3 per-CPU knode fast path.
+func BenchmarkAblationPerCPU(b *testing.B) {
+	benchAblation(b, func(c *kloc.KLOCConfig) { c.FastPath = false }, "rocksdb")
+}
+
+// BenchmarkAblationSplitTree collapses rbtree-cache/rbtree-slab into a
+// single tree (the design §4.2.3 rejects).
+func BenchmarkAblationSplitTree(b *testing.B) {
+	benchAblation(b, func(c *kloc.KLOCConfig) { c.SplitTrees = false }, "rocksdb")
+}
+
+// BenchmarkAblationSockExtract moves socket association back to the
+// TCP layer (§4.2.3 late demux).
+func BenchmarkAblationSockExtract(b *testing.B) {
+	benchAblation(b, func(c *kloc.KLOCConfig) { c.DriverExtract = false }, "redis")
+}
+
+// BenchmarkAblationKnodeAlloc keeps slab-class kernel objects on the
+// pinned slab allocator (§4.4 relocatability ablation).
+func BenchmarkAblationKnodeAlloc(b *testing.B) {
+	benchAblation(b, func(c *kloc.KLOCConfig) { c.RelocatableSlabs = false }, "rocksdb")
+}
+
+// BenchmarkFullDesign is the reference point for the ablations.
+func BenchmarkFullDesign(b *testing.B) {
+	benchAblation(b, func(*kloc.KLOCConfig) {}, "rocksdb")
+}
+
+// BenchmarkRawRun measures one klocs/rocksdb run end to end — the
+// simulator's own performance, for profiling the reproduction itself.
+func BenchmarkRawRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := kloc.Run(kloc.RunConfig{
+			PolicyName: "klocs",
+			Workload:   "rocksdb",
+			ScaleDiv:   256,
+			Duration:   10 * kloc.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Ops), "sim-ops")
+	}
+}
+
+// BenchmarkTHP tests the §5 hypothesis: with transparent huge pages
+// backing the application heap, KLOCs should retain (or improve) its
+// gains because whole 2 MB regions tier as units.
+func BenchmarkTHP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		for _, huge := range []bool{false, true} {
+			res, err := kloc.Run(kloc.RunConfig{
+				PolicyName: "klocs",
+				Workload:   "redis",
+				ScaleDiv:   opts.ScaleDiv,
+				Duration:   opts.Duration,
+				Seed:       opts.Seed,
+				WLConfig:   kloc.WorkloadConfig{HugePages: huge},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "base-ops/sec"
+			if huge {
+				label = "thp-ops/sec"
+			}
+			b.ReportMetric(res.Throughput, label)
+		}
+	}
+}

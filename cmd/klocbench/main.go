@@ -1,0 +1,95 @@
+// Command klocbench regenerates the paper's performance tables and
+// figures (Fig 4, Table 6, Fig 5a/5b/5c, Fig 6, the §7.3 prefetch
+// study, and the design ablations).
+//
+// Usage:
+//
+//	klocbench -exp fig4                 # one experiment
+//	klocbench -exp all                  # the full evaluation
+//	klocbench -exp fig4 -quick          # reduced duration
+//	klocbench -run -policy klocs -workload rocksdb   # one raw run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kloc"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id ("+strings.Join(kloc.ExperimentNames(), ", ")+", or 'all')")
+		quick    = flag.Bool("quick", false, "reduced virtual duration (faster, noisier)")
+		duration = flag.Int("duration-ms", 0, "override measured duration in virtual milliseconds")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		scale    = flag.Int("scale", 64, "platform scale divisor (Table 4 sizes / scale)")
+
+		rawRun   = flag.Bool("run", false, "execute one raw run instead of an experiment")
+		policy   = flag.String("policy", "klocs", "policy for -run")
+		workload = flag.String("workload", "rocksdb", "workload for -run")
+		optane   = flag.Bool("optane", false, "use the Optane Memory-Mode platform for -run")
+	)
+	flag.Parse()
+
+	opts := kloc.DefaultOptions()
+	if *quick {
+		opts = kloc.QuickOptions()
+	}
+	opts.Seed = *seed
+	opts.ScaleDiv = *scale
+	if *duration > 0 {
+		opts.Duration = kloc.Duration(*duration) * kloc.Millisecond
+	}
+
+	if *rawRun {
+		cfg := kloc.RunConfig{
+			PolicyName: *policy,
+			Workload:   *workload,
+			ScaleDiv:   opts.ScaleDiv,
+			Seed:       opts.Seed,
+			Duration:   opts.Duration,
+		}
+		if *optane {
+			cfg.Platform = kloc.Optane
+			cfg.MoveTaskAtFrac = 0.1
+		}
+		res, err := kloc.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("policy=%s workload=%s\n", res.Policy, res.Workload)
+		fmt.Printf("  ops=%d virtual-time=%v throughput=%.0f ops/s\n", res.Ops, res.VirtualTime, res.Throughput)
+		fmt.Printf("  refs: kernel=%d app=%d\n", res.KernRefs, res.AppRefs)
+		fmt.Printf("  migrations: total=%d demotions=%d promotions=%d\n",
+			res.Mem.MigratedPages, res.Mem.Demotions, res.Mem.Promotions)
+		if res.KlocMetadataBytes > 0 {
+			fmt.Printf("  kloc metadata: %d bytes (scaled), fast-path hit rate %.2f\n",
+				res.KlocMetadataBytes, res.FastPathHitRate)
+		}
+		return
+	}
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = kloc.ExperimentNames()
+	}
+	for _, name := range names {
+		table, err := kloc.Experiment(name, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(table)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "klocbench:", err)
+	os.Exit(1)
+}

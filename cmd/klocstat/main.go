@@ -1,0 +1,51 @@
+// Command klocstat regenerates the paper's characterization figures
+// (Fig 2a-2d): kernel-object footprints, allocation shares, reference
+// splits, and lifetimes, per workload.
+//
+// Usage:
+//
+//	klocstat                 # all four characterizations
+//	klocstat -exp fig2d      # one of them
+//	klocstat -workloads rocksdb,redis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kloc"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "fig2a|fig2b|fig2c|fig2d (default: all four)")
+		quick     = flag.Bool("quick", false, "reduced virtual duration")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+	)
+	flag.Parse()
+
+	opts := kloc.DefaultOptions()
+	if *quick {
+		opts = kloc.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	names := []string{"fig2a", "fig2b", "fig2c", "fig2d"}
+	if *exp != "" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		table, err := kloc.Experiment(name, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "klocstat:", err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+	}
+}

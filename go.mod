@@ -1,0 +1,3 @@
+module kloc
+
+go 1.22

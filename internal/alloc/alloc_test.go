@@ -1,0 +1,378 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+func mem() *memsim.Memory {
+	return memsim.NewTwoTier(memsim.TwoTierConfig{
+		FastPages: 64, SlowPages: 256,
+		FastBandwidth: 30, BandwidthRatio: 4, CPUs: 2,
+	})
+}
+
+var order = []memsim.NodeID{memsim.FastNode, memsim.SlowNode}
+
+func TestSlabPacking(t *testing.T) {
+	m := mem()
+	c := NewSlabCache(m, "dentry", 192)
+	per := c.ObjectsPerFrame()
+	if per != memsim.PageSize/192 {
+		t.Fatalf("objects per frame = %d", per)
+	}
+	var slots []*Slot
+	for i := 0; i < per; i++ {
+		s, _, err := c.Alloc(order, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if c.Frames() != 1 {
+		t.Fatalf("one frame should hold %d objects, used %d frames", per, c.Frames())
+	}
+	s, _, err := c.Alloc(order, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Frames() != 2 {
+		t.Fatalf("overflow object should open frame 2, got %d", c.Frames())
+	}
+	if c.LiveObjects() != per+1 {
+		t.Fatalf("live = %d", c.LiveObjects())
+	}
+	// Free everything; frames return to the memory system.
+	c.Free(s)
+	for _, s := range slots {
+		c.Free(s)
+	}
+	if c.Frames() != 0 || m.Node(memsim.FastNode).Used() != 0 {
+		t.Fatal("slab frames leaked")
+	}
+}
+
+func TestSlabFramesArePinned(t *testing.T) {
+	c := NewSlabCache(mem(), "inode", 600)
+	s, _, _ := c.Alloc(order, 0)
+	if !s.Frame.Pinned {
+		t.Fatal("slab frame not pinned")
+	}
+	if s.Frame.Class != memsim.ClassSlab {
+		t.Fatalf("slab frame class = %v", s.Frame.Class)
+	}
+}
+
+func TestKlocCacheRelocatable(t *testing.T) {
+	m := mem()
+	c := NewKlocCache(m, "inode-kloc", 600)
+	s, cost, _ := c.Alloc(order, 0)
+	if s.Frame.Pinned {
+		t.Fatal("KLOC allocator must produce relocatable frames")
+	}
+	if s.Frame.Class != memsim.ClassKloc {
+		t.Fatalf("class = %v", s.Frame.Class)
+	}
+	if cost < SlabAllocCost {
+		t.Fatal("KLOC alloc should not be cheaper than slab")
+	}
+	if !m.CanMigrate(s.Frame, memsim.SlowNode) {
+		t.Fatal("KLOC frame should be migratable")
+	}
+}
+
+func TestSlabCostOrdering(t *testing.T) {
+	// §4.4: slab < kloc < page < vmalloc.
+	if !(SlabAllocCost < KlocAllocCost && KlocAllocCost < PageAllocCost && PageAllocCost < VmallocCostPer) {
+		t.Fatal("allocation cost ordering violates the paper's model")
+	}
+}
+
+func TestSlabDoubleFree(t *testing.T) {
+	c := NewSlabCache(mem(), "x", 1024)
+	s, _, _ := c.Alloc(order, 0)
+	if c.Free(s) == 0 {
+		t.Fatal("first free had no cost")
+	}
+	if c.Free(s) != 0 {
+		t.Fatal("double free should be a no-op")
+	}
+	if c.Free(nil) != 0 {
+		t.Fatal("nil free should be a no-op")
+	}
+}
+
+func TestSlabPartialReuse(t *testing.T) {
+	c := NewSlabCache(mem(), "x", 2048) // 2 per frame
+	a, _, _ := c.Alloc(order, 0)
+	b, _, _ := c.Alloc(order, 0)
+	if a.Frame.ID != b.Frame.ID {
+		t.Fatal("two objects should share one frame")
+	}
+	c.Free(a)
+	d, _, _ := c.Alloc(order, 0)
+	if d.Frame.ID != b.Frame.ID {
+		t.Fatal("freed slot not reused")
+	}
+}
+
+func TestSlabFullObjectPerFrame(t *testing.T) {
+	c := NewSlabCache(mem(), "page-sized", memsim.PageSize)
+	if c.ObjectsPerFrame() != 1 {
+		t.Fatalf("page-sized slab packs %d", c.ObjectsPerFrame())
+	}
+	a, _, _ := c.Alloc(order, 0)
+	b, _, _ := c.Alloc(order, 0)
+	if a.Frame.ID == b.Frame.ID {
+		t.Fatal("page-sized objects must not share frames")
+	}
+}
+
+func TestSlabExhaustion(t *testing.T) {
+	m := memsim.NewTwoTier(memsim.TwoTierConfig{FastPages: 1, SlowPages: 1, FastBandwidth: 30, CPUs: 1})
+	c := NewSlabCache(m, "x", memsim.PageSize)
+	if _, _, err := c.Alloc(order, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Alloc(order, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Alloc(order, 0); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+}
+
+func TestPageAllocator(t *testing.T) {
+	m := mem()
+	p := &PageAllocator{Mem: m}
+	f, cost, err := p.Alloc(order, memsim.ClassCache, 5)
+	if err != nil || cost != PageAllocCost {
+		t.Fatalf("alloc: %v cost=%v", err, cost)
+	}
+	if f.Pinned {
+		t.Fatal("page-allocated frame pinned")
+	}
+	p.Free(f)
+	if m.Frames() != 0 {
+		t.Fatal("page leaked")
+	}
+}
+
+func TestVmalloc(t *testing.T) {
+	m := mem()
+	r, cost, err := Vmalloc(m, order, memsim.ClassKloc, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Frames) != 10 || cost != 10*VmallocCostPer {
+		t.Fatalf("frames=%d cost=%v", len(r.Frames), cost)
+	}
+	r.Release(m)
+	if m.Frames() != 0 {
+		t.Fatal("vmalloc leaked")
+	}
+}
+
+func TestVmallocPartialFailureUnwinds(t *testing.T) {
+	m := memsim.NewTwoTier(memsim.TwoTierConfig{FastPages: 3, SlowPages: 0, FastBandwidth: 30, CPUs: 1})
+	_, _, err := Vmalloc(m, []memsim.NodeID{memsim.FastNode}, memsim.ClassKloc, 5, 0)
+	if err == nil {
+		t.Fatal("oversized vmalloc succeeded")
+	}
+	if m.Frames() != 0 {
+		t.Fatal("failed vmalloc leaked frames")
+	}
+}
+
+func TestBuddyBasic(t *testing.T) {
+	b, err := NewBuddy(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 16 || b.LargestFree() != 4 {
+		t.Fatalf("fresh buddy: free=%d largest=%d", b.FreePages(), b.LargestFree())
+	}
+	base, err := b.Alloc(2) // 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 12 {
+		t.Fatalf("free after alloc = %d", b.FreePages())
+	}
+	if err := b.Free(base); err != nil {
+		t.Fatal(err)
+	}
+	if b.FreePages() != 16 || b.LargestFree() != 4 {
+		t.Fatal("coalescing failed to restore the full block")
+	}
+}
+
+func TestBuddyErrors(t *testing.T) {
+	if _, err := NewBuddy(12); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := NewBuddy(0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	b, _ := NewBuddy(8)
+	if _, err := b.Alloc(10); err == nil {
+		t.Fatal("oversized order accepted")
+	}
+	if _, err := b.Alloc(-1); err == nil {
+		t.Fatal("negative order accepted")
+	}
+	if err := b.Free(3); err == nil {
+		t.Fatal("free of unallocated block accepted")
+	}
+}
+
+func TestBuddyExhaustionAndFragmentation(t *testing.T) {
+	b, _ := NewBuddy(8)
+	var bases []int
+	for i := 0; i < 8; i++ {
+		base, err := b.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, base)
+	}
+	if _, err := b.Alloc(0); err == nil {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if b.LargestFree() != -1 {
+		t.Fatal("full buddy reports free block")
+	}
+	if b.Fragmentation() != 0 {
+		t.Fatal("full buddy should report 0 fragmentation")
+	}
+	// Free alternating pages: fragmented free space.
+	for i := 0; i < 8; i += 2 {
+		if err := b.Free(bases[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.FreePages() != 4 || b.LargestFree() != 0 {
+		t.Fatalf("free=%d largest=%d", b.FreePages(), b.LargestFree())
+	}
+	if frag := b.Fragmentation(); frag <= 0.5 {
+		t.Fatalf("fragmentation = %v, want > 0.5", frag)
+	}
+	if _, err := b.Alloc(1); err == nil {
+		t.Fatal("order-1 alloc should fail under fragmentation")
+	}
+}
+
+// Property: random alloc/free sequences conserve pages and coalesce
+// back to a single block once everything is freed.
+func TestBuddyConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		b, _ := NewBuddy(64)
+		live := map[int]bool{}
+		for i := 0; i < 500; i++ {
+			if r.Bool(0.6) {
+				if base, err := b.Alloc(r.Intn(3)); err == nil {
+					live[base] = true
+				}
+			} else if len(live) > 0 {
+				for base := range live {
+					if b.Free(base) != nil {
+						return false
+					}
+					delete(live, base)
+					break
+				}
+			}
+		}
+		for base := range live {
+			if b.Free(base) != nil {
+				return false
+			}
+		}
+		return b.FreePages() == 64 && b.LargestFree() == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaBumpAllocation(t *testing.T) {
+	m := mem()
+	a := NewArena(m, 7)
+	// 2048-byte objects: two per frame.
+	s1, c1, err := a.Alloc(order, 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 <= KlocAllocCost {
+		t.Fatal("first alloc should pay the frame-fill cost")
+	}
+	s2, c2, _ := a.Alloc(order, 2048, 0)
+	if c2 != KlocAllocCost {
+		t.Fatal("second alloc should reuse the frame")
+	}
+	if s1.Frame.ID != s2.Frame.ID {
+		t.Fatal("bump allocation split across frames prematurely")
+	}
+	s3, _, _ := a.Alloc(order, 2048, 0)
+	if s3.Frame.ID == s1.Frame.ID {
+		t.Fatal("overflow object did not open a new frame")
+	}
+	if a.Frames() != 2 || a.LiveObjects() != 3 {
+		t.Fatalf("frames=%d live=%d", a.Frames(), a.LiveObjects())
+	}
+	// Frames carry the owner stamp and are relocatable ClassKloc.
+	if s1.Frame.Knode != 7 || s1.Frame.Pinned || s1.Frame.Class != memsim.ClassKloc {
+		t.Fatalf("frame attrs: %+v", s1.Frame)
+	}
+}
+
+func TestArenaFreeReclaimsFrames(t *testing.T) {
+	m := mem()
+	a := NewArena(m, 1)
+	s1, _, _ := a.Alloc(order, 2048, 0)
+	s2, _, _ := a.Alloc(order, 2048, 0)
+	a.Free(s1)
+	if a.Frames() != 1 {
+		t.Fatal("frame freed while objects remain")
+	}
+	a.Free(s2)
+	if a.Frames() != 0 || m.Frames() != 0 {
+		t.Fatal("empty arena kept frames")
+	}
+	if a.Free(s2) != 0 {
+		t.Fatal("double free did work")
+	}
+	// The arena is reusable after draining.
+	if _, _, err := a.Alloc(order, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaSetOwner(t *testing.T) {
+	m := mem()
+	a := NewArena(m, 0)
+	s, _, _ := a.Alloc(order, 512, 0)
+	if s.Frame.Knode != 0 {
+		t.Fatal("unowned arena stamped a knode")
+	}
+	a.SetOwner(42)
+	if s.Frame.Knode != 42 {
+		t.Fatal("SetOwner did not restamp live frames")
+	}
+}
+
+func TestArenaOversizeClamps(t *testing.T) {
+	m := mem()
+	a := NewArena(m, 1)
+	s, _, err := a.Alloc(order, memsim.PageSize*4, 0)
+	if err != nil || s == nil {
+		t.Fatal("oversize alloc should clamp to one page")
+	}
+	if a.LiveObjects() != 1 || a.Frames() != 1 {
+		t.Fatal("clamped alloc accounting wrong")
+	}
+}

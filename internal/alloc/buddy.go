@@ -1,0 +1,134 @@
+package alloc
+
+import "fmt"
+
+// Buddy is a binary buddy allocator over an abstract page-index space
+// [0, size). The block layer uses it for physically contiguous DMA ring
+// allocations (blk_mq, §4.2.3); it also documents why slab frames are
+// non-relocatable — they are handed out by physical index.
+//
+// size must be a power of two. Orders run from 0 (one page) up to
+// log2(size).
+type Buddy struct {
+	size     int
+	maxOrder int
+	// free[o] holds base indexes of free blocks of order o.
+	free [][]int
+	// inFree tracks which (base,order) blocks sit in the free lists so
+	// coalescing can find buddies in O(1).
+	inFree map[int]int // base -> order
+	// allocated maps base -> order for live blocks.
+	allocated map[int]int
+}
+
+// NewBuddy creates a buddy allocator over size pages (power of two).
+func NewBuddy(size int) (*Buddy, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("alloc: buddy size %d not a power of two", size)
+	}
+	maxOrder := 0
+	for 1<<maxOrder < size {
+		maxOrder++
+	}
+	b := &Buddy{
+		size:      size,
+		maxOrder:  maxOrder,
+		free:      make([][]int, maxOrder+1),
+		inFree:    map[int]int{0: maxOrder},
+		allocated: map[int]int{},
+	}
+	b.free[maxOrder] = []int{0}
+	return b, nil
+}
+
+// Alloc returns the base index of a free 2^order block, or an error
+// when fragmentation or occupancy prevents it.
+func (b *Buddy) Alloc(order int) (int, error) {
+	if order < 0 || order > b.maxOrder {
+		return 0, fmt.Errorf("alloc: order %d out of range", order)
+	}
+	// Find the smallest order with a free block.
+	o := order
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, fmt.Errorf("alloc: no free block of order %d", order)
+	}
+	base := b.free[o][len(b.free[o])-1]
+	b.free[o] = b.free[o][:len(b.free[o])-1]
+	delete(b.inFree, base)
+	// Split down to the requested order, freeing the upper halves.
+	for o > order {
+		o--
+		upper := base + (1 << o)
+		b.free[o] = append(b.free[o], upper)
+		b.inFree[upper] = o
+	}
+	b.allocated[base] = order
+	return base, nil
+}
+
+// Free returns a block. base/order must match a prior Alloc.
+func (b *Buddy) Free(base int) error {
+	order, ok := b.allocated[base]
+	if !ok {
+		return fmt.Errorf("alloc: free of unallocated base %d", base)
+	}
+	delete(b.allocated, base)
+	// Coalesce with the buddy while possible.
+	for order < b.maxOrder {
+		buddy := base ^ (1 << order)
+		bo, free := b.inFree[buddy]
+		if !free || bo != order {
+			break
+		}
+		// Remove buddy from its free list.
+		delete(b.inFree, buddy)
+		lst := b.free[order]
+		for i, v := range lst {
+			if v == buddy {
+				b.free[order] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], base)
+	b.inFree[base] = order
+	return nil
+}
+
+// FreePages reports the number of free pages.
+func (b *Buddy) FreePages() int {
+	n := 0
+	for o, lst := range b.free {
+		n += len(lst) << o
+	}
+	return n
+}
+
+// LargestFree returns the order of the biggest allocatable block, or -1
+// when full.
+func (b *Buddy) LargestFree() int {
+	for o := b.maxOrder; o >= 0; o-- {
+		if len(b.free[o]) > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// Fragmentation returns 1 - largestFreeBlock/freePages: 0 means all
+// free space is one contiguous run.
+func (b *Buddy) Fragmentation() float64 {
+	free := b.FreePages()
+	if free == 0 {
+		return 0
+	}
+	lo := b.LargestFree()
+	return 1 - float64(int(1)<<lo)/float64(free)
+}

@@ -1,0 +1,78 @@
+package blockdev
+
+import (
+	"testing"
+
+	"kloc/internal/sim"
+)
+
+func TestTransferCostSeqVsRand(t *testing.T) {
+	d := DefaultNVMe()
+	seq := d.TransferCost(1<<20, true)
+	rnd := d.TransferCost(1<<20, false)
+	if seq >= rnd {
+		t.Fatalf("sequential (%v) not faster than random (%v)", seq, rnd)
+	}
+	// 1 MB at 1.2 GB/s ≈ 0.87 ms + 20 µs command latency.
+	if seq < 800*sim.Microsecond || seq > 1*sim.Millisecond {
+		t.Fatalf("seq 1MB cost = %v, want ~0.9ms", seq)
+	}
+}
+
+func TestSubmitQueueing(t *testing.T) {
+	d := DefaultNVMe()
+	l1 := d.Submit(0, 4096, true, false)
+	// Second command at the same instant queues behind the first.
+	l2 := d.Submit(0, 4096, true, false)
+	if l2 <= l1 {
+		t.Fatalf("queued command latency %v not greater than first %v", l2, l1)
+	}
+	if d.Commands != 2 {
+		t.Fatalf("commands = %d", d.Commands)
+	}
+	// A command far in the future sees an idle device again.
+	l3 := d.Submit(d.BusyUntil().Add(sim.Second), 4096, true, false)
+	if l3 != l1 {
+		t.Fatalf("idle-device latency %v, want %v", l3, l1)
+	}
+}
+
+func TestReadWriteAccounting(t *testing.T) {
+	d := DefaultNVMe()
+	d.Submit(0, 100, true, false)
+	d.Submit(0, 200, true, true)
+	if d.BytesRead != 100 || d.BytesWritten != 200 {
+		t.Fatalf("rw accounting: r=%d w=%d", d.BytesRead, d.BytesWritten)
+	}
+}
+
+func TestMQDispatch(t *testing.T) {
+	d := DefaultNVMe()
+	mq := NewMQ(d, 4)
+	mq.Submit(0, 0, 4096, true, false)
+	mq.Submit(5, 0, 4096, true, false) // cpu 5 -> queue 1
+	if mq.PerQueue[0] != 1 || mq.PerQueue[1] != 1 {
+		t.Fatalf("queue distribution: %v", mq.PerQueue)
+	}
+	if mq.Requests() != 2 {
+		t.Fatalf("requests = %d", mq.Requests())
+	}
+}
+
+func TestMQAddsDispatchCost(t *testing.T) {
+	d := DefaultNVMe()
+	raw := d.TransferCost(4096, true)
+	mq := NewMQ(DefaultNVMe(), 1)
+	total := mq.Submit(0, 0, 4096, true, false)
+	if total != raw+mq.DispatchCost {
+		t.Fatalf("total %v, want %v", total, raw+mq.DispatchCost)
+	}
+}
+
+func TestMQMinimumQueues(t *testing.T) {
+	mq := NewMQ(DefaultNVMe(), 0)
+	if mq.Queues != 1 {
+		t.Fatalf("queues = %d", mq.Queues)
+	}
+	mq.Submit(7, 0, 64, false, true) // must not panic on modulo
+}

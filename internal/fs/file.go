@@ -1,0 +1,278 @@
+package fs
+
+import (
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+// Write writes one page at pageIdx through the page cache: radix-tree
+// lookup/insert, page allocation on miss, extent mapping, and a journal
+// record for the metadata update (the Fig 3b write path).
+func (f *FS) Write(ctx *kstate.Ctx, file *File, pageIdx int64) error {
+	ctx.Charge(syscallEntryCost)
+	ind := file.Inode
+	f.Stats.Writes++
+	if _, err := f.radixNode(ctx, ind, pageIdx); err != nil {
+		return err
+	}
+	// Block mapping consults the extent tree on every write.
+	if _, err := f.extentFor(ctx, ind, pageIdx); err != nil {
+		return err
+	}
+	p, ok := ind.pages.Get(pageIdx)
+	if !ok {
+		obj, err := f.allocObj(ctx, kobj.PageCache, ind.Ino)
+		if err != nil {
+			return err
+		}
+		p = &Page{Obj: obj, Idx: pageIdx}
+		ind.pages.Set(pageIdx, p)
+		ind.frameIndex[obj.Frame.ID] = pageIdx
+		f.frameOwner[obj.Frame.ID] = ind.Ino
+		if _, err := f.extentFor(ctx, ind, pageIdx); err != nil {
+			return err
+		}
+		if err := f.journalRecord(ctx, ind.Ino); err != nil {
+			return err
+		}
+		if pageIdx >= ind.SizePages {
+			ind.SizePages = pageIdx + 1
+		}
+	} else {
+		f.Stats.CacheHits++
+	}
+	p.Dirty = true
+	// copy_from_user into the cache page, then journal/bookkeeping
+	// re-reads it (§3.1: writes are even more memory-intensive).
+	f.touchObj(ctx, p.Obj, memsim.PageSize, true)
+	f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+	f.Hooks.PageAccessed(ctx, p.Obj.Frame)
+	f.touchObj(ctx, ind.inodeObj, 0, true)
+	return nil
+}
+
+// Read reads one page at pageIdx. Cache hits cost a memory access;
+// misses pay the block device and trigger adaptive readahead on
+// sequential streaks (§4.4).
+func (f *FS) Read(ctx *kstate.Ctx, file *File, pageIdx int64) error {
+	ctx.Charge(syscallEntryCost)
+	ind := file.Inode
+	f.Stats.Reads++
+	// atime update + permission checks touch the inode.
+	f.touchObj(ctx, ind.inodeObj, 0, true)
+	if _, err := f.radixNode(ctx, ind, pageIdx); err != nil {
+		return err
+	}
+	p, ok := ind.pages.Get(pageIdx)
+	if ok {
+		f.Stats.CacheHits++
+		if p.Prefetched {
+			// First demand touch of a prefetched page.
+			f.Stats.ReadaheadHits++
+			p.Prefetched = false
+		}
+		// Page-cache read: lookup touch + copy_to_user streams the page
+		// out of the cache (two passes over the data in the kernel's
+		// cache-cold case, §3.1).
+		f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+		f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+		f.Hooks.PageAccessed(ctx, p.Obj.Frame)
+		f.updateStreak(ind, pageIdx)
+		return nil
+	}
+	f.Stats.CacheMisses++
+	p, err := f.fillPage(ctx, ind, pageIdx, true, false)
+	if err != nil {
+		return err
+	}
+	f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+	f.Hooks.PageAccessed(ctx, p.Obj.Frame)
+	f.updateStreak(ind, pageIdx)
+	f.maybeReadahead(ctx, ind, pageIdx)
+	return nil
+}
+
+// fillPage allocates a cache page and reads it from the device. When
+// demand is false the device transfer is issued asynchronously: the
+// device busy horizon advances, but the caller is not charged the
+// latency (that is what makes prefetching worthwhile). viaKnode marks
+// KLOC-aware prefetch issuance: the knode's object index supplies the
+// block mapping directly, skipping the per-page extent walk (§4.4).
+func (f *FS) fillPage(ctx *kstate.Ctx, ind *Inode, pageIdx int64, demand, viaKnode bool) (*Page, error) {
+	obj, err := f.allocObj(ctx, kobj.PageCache, ind.Ino)
+	if err != nil {
+		return nil, err
+	}
+	p := &Page{Obj: obj, Idx: pageIdx}
+	ind.pages.Set(pageIdx, p)
+	ind.frameIndex[obj.Frame.ID] = pageIdx
+	f.frameOwner[obj.Frame.ID] = ind.Ino
+	if viaKnode {
+		ctx.Charge(60) // knode rbtree-cache lookup replaces the extent walk
+	} else if _, err := f.extentFor(ctx, ind, pageIdx); err != nil {
+		return nil, err
+	}
+	sequential := pageIdx == ind.lastRead+1
+	lat := f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, sequential, false)
+	if demand {
+		ctx.Charge(lat)
+	}
+	if pageIdx >= ind.SizePages {
+		ind.SizePages = pageIdx + 1
+	}
+	return p, nil
+}
+
+func (f *FS) updateStreak(ind *Inode, pageIdx int64) {
+	if pageIdx == ind.lastRead+1 {
+		ind.streak++
+	} else {
+		ind.streak = 0
+	}
+	ind.lastRead = pageIdx
+}
+
+// maybeReadahead prefetches up to ReadaheadWindow pages ahead of a
+// sequential streak. With KlocAwareReadahead the prefetcher also warms
+// the inode's metadata objects (radix nodes, extents) — the paper's
+// KLOC-prefetch integration.
+func (f *FS) maybeReadahead(ctx *kstate.Ctx, ind *Inode, pageIdx int64) {
+	if f.ReadaheadWindow <= 0 || ind.streak < 2 {
+		return
+	}
+	issued := 0
+	for i := int64(1); i <= int64(f.ReadaheadWindow); i++ {
+		idx := pageIdx + i
+		if _, ok := ind.pages.Get(idx); ok {
+			continue
+		}
+		p, err := f.fillPage(ctx, ind, idx, false, f.KlocAwareReadahead)
+		if err != nil {
+			break // memory pressure: stop prefetching
+		}
+		p.Prefetched = true
+		issued++
+	}
+	f.Stats.ReadaheadIssued += uint64(issued)
+}
+
+// Fsync commits the journal and writes back the inode's dirty pages
+// through the block layer (allocating Block and BlkMQ objects for the
+// dispatch, per Table 1).
+func (f *FS) Fsync(ctx *kstate.Ctx, file *File) error {
+	ctx.Charge(syscallEntryCost)
+	ind := file.Inode
+	f.Stats.Syncs++
+	if err := f.journalCommit(ctx); err != nil {
+		return err
+	}
+	return f.writebackInode(ctx, ind)
+}
+
+// writebackInode flushes dirty pages in index order, batching
+// contiguous runs into single block-layer submissions.
+func (f *FS) writebackInode(ctx *kstate.Ctx, ind *Inode) error {
+	var dirty []*Page
+	ind.pages.Ascend(func(_ int64, p *Page) bool {
+		if p.Dirty {
+			dirty = append(dirty, p)
+		}
+		return true
+	})
+	if len(dirty) == 0 {
+		return nil
+	}
+	// One bio (Block object) + blk_mq request per run of up to 256
+	// contiguous pages. All runs are submitted asynchronously and the
+	// caller waits for the slowest completion, so the charge is the MAX
+	// completion latency, not the sum.
+	var wait sim.Duration
+	runStart := 0
+	for i := 1; i <= len(dirty); i++ {
+		endOfRun := i == len(dirty) ||
+			dirty[i].Idx != dirty[i-1].Idx+1 || i-runStart >= 256
+		if !endOfRun {
+			continue
+		}
+		run := dirty[runStart:i]
+		bio, err := f.allocObj(ctx, kobj.Block, ind.Ino)
+		if err != nil {
+			return err
+		}
+		mqObj, err := f.allocObj(ctx, kobj.BlkMQ, ind.Ino)
+		if err != nil {
+			return err
+		}
+		f.touchObj(ctx, bio, 0, true)
+		bytes := len(run) * memsim.PageSize
+		if lat := f.MQ.Submit(ctx.CPU, ctx.Now, bytes, len(run) > 1, true); lat > wait {
+			wait = lat
+		}
+		for _, p := range run {
+			// Reading the page for the DMA copy.
+			f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+			p.Dirty = false
+			f.Stats.WritebackPages++
+		}
+		// bio and blk_mq request die at completion: the short-lifetime
+		// population of Fig 2d.
+		f.freeObj(ctx, bio)
+		f.freeObj(ctx, mqObj)
+		runStart = i
+	}
+	ctx.Charge(wait)
+	return nil
+}
+
+// EvictFrame drops the page-cache page backed by the given frame
+// (called by reclaim when memory pressure demands freeing rather than
+// migrating). Dirty pages are written back first. Reports whether the
+// frame belonged to this FS.
+func (f *FS) EvictFrame(ctx *kstate.Ctx, frame *memsim.Frame) bool {
+	ino, ok := f.frameOwner[frame.ID]
+	if !ok {
+		return false
+	}
+	ind, ok := f.inodes[ino]
+	if !ok {
+		return false
+	}
+	idx, ok := ind.frameIndex[frame.ID]
+	if !ok {
+		return false
+	}
+	p, ok := ind.pages.Get(idx)
+	if !ok || p.Obj.Frame.ID != frame.ID {
+		return false
+	}
+	if p.Dirty {
+		ctx.Charge(f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, false, true))
+		f.Stats.WritebackPages++
+	}
+	ind.pages.Delete(idx)
+	delete(ind.frameIndex, frame.ID)
+	delete(f.frameOwner, frame.ID)
+	f.freeObj(ctx, p.Obj)
+	return true
+}
+
+// DropCleanPages evicts up to n clean page-cache pages of an inode
+// (used when a file closes under pressure). Returns pages dropped.
+func (f *FS) DropCleanPages(ctx *kstate.Ctx, ind *Inode, n int) int {
+	var victims []*Page
+	ind.pages.Ascend(func(_ int64, p *Page) bool {
+		if !p.Dirty {
+			victims = append(victims, p)
+		}
+		return len(victims) < n
+	})
+	for _, p := range victims {
+		ind.pages.Delete(p.Idx)
+		delete(ind.frameIndex, p.Obj.Frame.ID)
+		delete(f.frameOwner, p.Obj.Frame.ID)
+		f.freeObj(ctx, p.Obj)
+	}
+	return len(victims)
+}

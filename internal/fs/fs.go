@@ -1,0 +1,310 @@
+// Package fs simulates the filesystem stack the paper instruments: a
+// VFS layer (inodes, a dentry cache), an ext4-like body (extent maps, a
+// jbd2-style journal), a radix-tree page cache with adaptive readahead,
+// and writeback through the blk_mq block layer.
+//
+// Every kernel object from Table 1's FS rows is allocated through the
+// real (simulated) allocator suite, reported to the policy layer via
+// kstate.Hooks, and charged to virtual time, so the characterization
+// figures (2a-2d) and the placement results (Fig 4-6) all emerge from
+// the same code paths.
+package fs
+
+import (
+	"fmt"
+
+	"kloc/internal/alloc"
+	"kloc/internal/blockdev"
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+// Cost constants for FS code paths.
+const (
+	// pathWalkCost per path component on a dentry-cache miss.
+	pathWalkCost sim.Duration = 600
+	// syscallEntryCost models mode switch + argument checking.
+	syscallEntryCost sim.Duration = 100
+	// radixFanout pages per radix-tree node.
+	radixFanout = 64
+	// extentSpan pages per extent mapping.
+	extentSpan = 32
+	// journalRecordBytes logged per metadata update.
+	journalRecordBytes = 512
+)
+
+// Stats tracks FS-level activity.
+type Stats struct {
+	Creates, Opens, Closes, Unlinks uint64
+	Renames, Truncates              uint64
+	Reads, Writes, Syncs            uint64
+	CacheHits, CacheMisses          uint64
+	DentryHits, DentryMisses        uint64
+	ReadaheadIssued, ReadaheadHits  uint64
+	WritebackPages                  uint64
+	JournalCommits                  uint64
+	ReclaimedPages                  uint64
+	// ObjAllocs counts kernel-object allocations by type (Fig 2a).
+	ObjAllocs [16]uint64
+	// ObjLive tracks live objects by type.
+	ObjLive [16]int64
+}
+
+// FS is the simulated filesystem instance.
+type FS struct {
+	Mem   *memsim.Memory
+	MQ    *blockdev.MQ
+	Hooks kstate.Hooks
+	// ObjIDs and InoGen are shared with the network stack so object and
+	// inode namespaces are global (everything is a file).
+	ObjIDs *kstate.IDGen
+	InoGen *kstate.IDGen
+
+	Pager *alloc.PageAllocator
+	slabs map[kobj.Type]*alloc.SlabCache
+	klocs map[kobj.Type]*alloc.SlabCache
+	// arenas are per-inode KLOC allocation regions (§4.4): slab-class
+	// objects of a file live in frames private to its KLOC, so they can
+	// migrate with the knode without dragging other files' objects.
+	arenas map[uint64]*alloc.Arena
+
+	inodes map[uint64]*Inode
+	dcache map[string]uint64 // path -> ino
+	// inodeOrder keeps deterministic (creation-order) iteration for
+	// reclaim; Go map iteration order would break reproducibility.
+	inodeOrder []uint64
+	// frameOwner maps cache frames to owning inodes for O(1) eviction.
+	frameOwner map[memsim.FrameID]uint64
+
+	// ReadaheadWindow is the max pages prefetched on a sequential
+	// streak; 0 disables readahead.
+	ReadaheadWindow int
+	// KlocAwareReadahead extends readahead to the inode's kernel
+	// objects (§4.4 "Making KLOCs amenable to I/O prefetching").
+	KlocAwareReadahead bool
+
+	journalPending []*kobj.Object
+	reclaiming     bool
+
+	Stats Stats
+}
+
+// New builds a filesystem over the given memory and block layers.
+func New(mem *memsim.Memory, mq *blockdev.MQ, hooks kstate.Hooks, objIDs, inoGen *kstate.IDGen) *FS {
+	f := &FS{
+		Mem:             mem,
+		MQ:              mq,
+		Hooks:           hooks,
+		ObjIDs:          objIDs,
+		InoGen:          inoGen,
+		Pager:           &alloc.PageAllocator{Mem: mem},
+		slabs:           make(map[kobj.Type]*alloc.SlabCache),
+		klocs:           make(map[kobj.Type]*alloc.SlabCache),
+		arenas:          make(map[uint64]*alloc.Arena),
+		inodes:          make(map[uint64]*Inode),
+		dcache:          make(map[string]uint64),
+		frameOwner:      make(map[memsim.FrameID]uint64),
+		ReadaheadWindow: 8,
+	}
+	return f
+}
+
+func (f *FS) slabFor(t kobj.Type, relocatable bool) *alloc.SlabCache {
+	m := f.slabs
+	if relocatable {
+		m = f.klocs
+	}
+	c := m[t]
+	if c == nil {
+		if relocatable {
+			c = alloc.NewKlocCache(f.Mem, t.String()+"-kloc", t.Info().Size)
+		} else {
+			c = alloc.NewSlabCache(f.Mem, t.String(), t.Info().Size)
+		}
+		m[t] = c
+	}
+	return c
+}
+
+// allocObj allocates a kernel object of type t for inode ino through
+// whichever allocator the policy selects, charges the cost, and fires
+// the creation hook. Under memory exhaustion it reclaims page cache
+// (kswapd-style) and retries once.
+func (f *FS) allocObj(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
+	o, err := f.allocObjOnce(ctx, t, ino)
+	if err == memsim.ErrNoMemory {
+		if f.Reclaim(ctx, reclaimBatch) > 0 {
+			o, err = f.allocObjOnce(ctx, t, ino)
+		}
+	}
+	return o, err
+}
+
+func (f *FS) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
+	order := f.Hooks.PlaceKernel(ctx, t, ino)
+	id := kobj.ID(f.ObjIDs.Next())
+	var o *kobj.Object
+	if t.Info().Alloc == kobj.AllocSlab {
+		if f.Hooks.UseKlocAllocator(t) && ino != 0 {
+			// Per-KLOC region: migratable without cross-file aliasing.
+			arena := f.arenas[ino]
+			if arena == nil {
+				arena = alloc.NewArena(f.Mem, 0)
+				f.arenas[ino] = arena
+			}
+			slot, cost, err := arena.Alloc(order, t.Info().Size, ctx.Now)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(cost)
+			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { arena.Free(slot) })
+		} else {
+			cache := f.slabFor(t, f.Hooks.UseKlocAllocator(t))
+			slot, cost, err := cache.Alloc(order, ctx.Now)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(cost)
+			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { cache.Free(slot) })
+		}
+	} else {
+		frame, cost, err := f.Pager.Alloc(order, memsim.ClassCache, ctx.Now)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Charge(cost)
+		o = kobj.NewObject(id, t, frame, ctx.Now, func() { f.Pager.Free(frame) })
+		f.Hooks.PageAllocated(ctx, frame)
+	}
+	f.Stats.ObjAllocs[t]++
+	f.Stats.ObjLive[t]++
+	// Initialization writes the new object's memory: allocation cost is
+	// tier-sensitive, which is why direct placement matters (§3.2).
+	ctx.Charge(f.Mem.Access(ctx.CPU, o.Frame, o.Size, true, ctx.Now))
+	f.Hooks.ObjectCreated(ctx, ino, o)
+	return o, nil
+}
+
+// reclaimBatch pages dropped per reclaim round.
+const reclaimBatch = 64
+
+// Reclaim drops up to n page-cache pages, oldest inode first (a
+// deterministic kswapd stand-in). Clean pages go first; if none exist,
+// dirty pages are written back and dropped. Reports pages freed.
+// Re-entrant calls (writeback allocating under pressure, the kernel's
+// PF_MEMALLOC situation) return 0 immediately.
+func (f *FS) Reclaim(ctx *kstate.Ctx, n int) int {
+	if f.reclaiming {
+		return 0
+	}
+	f.reclaiming = true
+	defer func() { f.reclaiming = false }()
+	freed := 0
+	for pass := 0; pass < 2 && freed == 0; pass++ {
+		for _, ino := range f.inodeOrder {
+			if freed >= n {
+				break
+			}
+			ind, ok := f.inodes[ino]
+			if !ok {
+				continue
+			}
+			if pass == 0 {
+				freed += f.DropCleanPages(ctx, ind, n-freed)
+				continue
+			}
+			// Second pass: write back then drop.
+			if err := f.writebackInode(ctx, ind); err == nil {
+				freed += f.DropCleanPages(ctx, ind, n-freed)
+			}
+		}
+	}
+	f.Stats.ReclaimedPages += uint64(freed)
+	return freed
+}
+
+// freeObj releases an object, firing hooks.
+func (f *FS) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
+	if o == nil {
+		return
+	}
+	f.Stats.ObjLive[o.Type]--
+	f.Hooks.ObjectFreed(ctx, o)
+	if o.Type.Info().Alloc == kobj.AllocPage && o.Frame != nil {
+		f.Hooks.PageFreed(ctx, o.Frame)
+	}
+	o.Release()
+}
+
+// touchObj charges a memory access to the object's frame.
+func (f *FS) touchObj(ctx *kstate.Ctx, o *kobj.Object, bytes int, write bool) {
+	if o == nil || o.Frame == nil {
+		return
+	}
+	if bytes <= 0 {
+		bytes = o.Size
+	}
+	ctx.Charge(f.Mem.Access(ctx.CPU, o.Frame, bytes, write, ctx.Now))
+}
+
+// Inodes reports the live inode count.
+func (f *FS) Inodes() int { return len(f.inodes) }
+
+// Lookup resolves a path to an inode via the dentry cache.
+func (f *FS) lookupPath(ctx *kstate.Ctx, path string) (*Inode, bool) {
+	if ino, ok := f.dcache[path]; ok {
+		ind := f.inodes[ino]
+		if ind != nil {
+			f.Stats.DentryHits++
+			// Dentry cache hit: touch the dentry object.
+			f.touchObj(ctx, ind.dentry, 0, false)
+			return ind, true
+		}
+	}
+	f.Stats.DentryMisses++
+	ctx.Charge(pathWalkCost)
+	return nil, false
+}
+
+// Inode returns the inode for a path (test/inspection helper).
+func (f *FS) Inode(path string) (*Inode, bool) {
+	ino, ok := f.dcache[path]
+	if !ok {
+		return nil, false
+	}
+	ind, ok := f.inodes[ino]
+	return ind, ok
+}
+
+// InodeByNum returns an inode by number.
+func (f *FS) InodeByNum(ino uint64) (*Inode, bool) {
+	ind, ok := f.inodes[ino]
+	return ind, ok
+}
+
+// errNotFound reports a missing path.
+func errNotFound(path string) error { return fmt.Errorf("fs: %s: no such file", path) }
+
+// CachePages reports total page-cache pages across all inodes.
+func (f *FS) CachePages() int {
+	n := 0
+	for _, ind := range f.inodes {
+		n += ind.pages.Len()
+	}
+	return n
+}
+
+// ForEachInode visits inodes in creation order (deterministic).
+func (f *FS) ForEachInode(fn func(*Inode) bool) {
+	for _, ino := range f.inodeOrder {
+		ind, ok := f.inodes[ino]
+		if !ok {
+			continue
+		}
+		if !fn(ind) {
+			return
+		}
+	}
+}

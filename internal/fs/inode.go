@@ -1,0 +1,265 @@
+package fs
+
+import (
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/rbtree"
+)
+
+// Page is one page-cache entry: the PageCache object plus writeback
+// state.
+type Page struct {
+	Obj   *kobj.Object
+	Idx   int64
+	Dirty bool
+	// Prefetched marks pages brought in by readahead and not yet
+	// demanded (readahead-hit accounting).
+	Prefetched bool
+}
+
+// Inode is a simulated in-memory inode with its attached kernel
+// objects: the inode slab object itself, its dentry, the radix-tree
+// page cache, radix-tree interior nodes, and the extent map.
+type Inode struct {
+	Ino  uint64
+	Path string
+	// Refs counts open file descriptions; Nlink counts directory links.
+	Refs, Nlink int
+
+	inodeObj *kobj.Object
+	dentry   *kobj.Object
+
+	pages      *rbtree.Tree[int64, *Page]
+	radixNodes map[int64]*kobj.Object // radix subtree index -> node object
+	extents    *rbtree.Tree[int64, *kobj.Object]
+
+	// frameIndex maps cache frames back to page indexes so policies can
+	// evict by frame.
+	frameIndex map[memsim.FrameID]int64
+
+	// Readahead state: last sequentially read index and streak length.
+	lastRead int64
+	streak   int
+
+	// SizePages is the logical file size in pages.
+	SizePages int64
+}
+
+// Open file handle.
+type File struct {
+	Inode *Inode
+	fs    *FS
+}
+
+// CachedPages reports the inode's page-cache population.
+func (ind *Inode) CachedPages() int { return ind.pages.Len() }
+
+// Objects returns all kernel objects currently attached to the inode
+// (for accounting and tests).
+func (ind *Inode) Objects() []*kobj.Object {
+	var out []*kobj.Object
+	if ind.inodeObj != nil {
+		out = append(out, ind.inodeObj)
+	}
+	if ind.dentry != nil {
+		out = append(out, ind.dentry)
+	}
+	for _, o := range ind.radixNodes {
+		out = append(out, o)
+	}
+	ind.pages.Ascend(func(_ int64, p *Page) bool { out = append(out, p.Obj); return true })
+	ind.extents.Ascend(func(_ int64, o *kobj.Object) bool { out = append(out, o); return true })
+	return out
+}
+
+// Create creates a new file: inode + dentry objects, a journal record
+// for the metadata update, and the creation hooks (Fig 3b).
+func (f *FS) Create(ctx *kstate.Ctx, path string) (*File, error) {
+	ctx.Charge(syscallEntryCost)
+	if ind, ok := f.lookupPath(ctx, path); ok {
+		// Exists: behave like O_CREAT on an existing file.
+		return f.openInode(ctx, ind), nil
+	}
+	ino := f.InoGen.Next()
+	ind := &Inode{
+		Ino: ino, Path: path, Nlink: 1,
+		pages:      rbtree.New[int64, *Page](),
+		radixNodes: make(map[int64]*kobj.Object),
+		extents:    rbtree.New[int64, *kobj.Object](),
+		frameIndex: make(map[memsim.FrameID]int64),
+		lastRead:   -2,
+	}
+	f.inodes[ino] = ind
+	f.inodeOrder = append(f.inodeOrder, ino)
+	f.dcache[path] = ino
+	f.Hooks.InodeCreated(ctx, ino, false)
+
+	var err error
+	if ind.inodeObj, err = f.allocObj(ctx, kobj.Inode, ino); err != nil {
+		return nil, err
+	}
+	if ind.dentry, err = f.allocObj(ctx, kobj.Dentry, ino); err != nil {
+		return nil, err
+	}
+	f.touchObj(ctx, ind.inodeObj, 0, true)
+	f.touchObj(ctx, ind.dentry, 0, true)
+	if err := f.journalRecord(ctx, ino); err != nil {
+		return nil, err
+	}
+	f.Stats.Creates++
+	return f.openInode(ctx, ind), nil
+}
+
+// Open opens an existing file.
+func (f *FS) Open(ctx *kstate.Ctx, path string) (*File, error) {
+	ctx.Charge(syscallEntryCost)
+	ind, ok := f.lookupPath(ctx, path)
+	if !ok {
+		// Dentry miss: the path walk either finds the inode on "disk"
+		// (we keep all inodes in memory; a real miss would re-read the
+		// inode) or fails.
+		ino, exists := f.findByPath(path)
+		if !exists {
+			return nil, errNotFound(path)
+		}
+		ind = f.inodes[ino]
+		// Re-populate the dentry cache.
+		var err error
+		if ind.dentry == nil {
+			if ind.dentry, err = f.allocObj(ctx, kobj.Dentry, ind.Ino); err != nil {
+				return nil, err
+			}
+		}
+		f.dcache[path] = ind.Ino
+	}
+	f.Stats.Opens++
+	return f.openInode(ctx, ind), nil
+}
+
+func (f *FS) findByPath(path string) (uint64, bool) {
+	for ino, ind := range f.inodes {
+		if ind.Path == path {
+			return ino, true
+		}
+	}
+	return 0, false
+}
+
+func (f *FS) openInode(ctx *kstate.Ctx, ind *Inode) *File {
+	ind.Refs++
+	f.touchObj(ctx, ind.inodeObj, 0, false)
+	f.Hooks.InodeOpened(ctx, ind.Ino)
+	return &File{Inode: ind, fs: f}
+}
+
+// Close drops one reference; at zero the inode's KLOC turns cold
+// (§3.2's first coldness trigger).
+func (f *FS) Close(ctx *kstate.Ctx, file *File) {
+	ctx.Charge(syscallEntryCost)
+	ind := file.Inode
+	if ind.Refs > 0 {
+		ind.Refs--
+	}
+	f.Stats.Closes++
+	if ind.Refs == 0 {
+		f.Hooks.InodeClosed(ctx, ind.Ino)
+	}
+}
+
+// Unlink removes the path; when the last link and last open reference
+// are gone the inode's objects are deallocated — NOT migrated (§3.2's
+// second rule).
+func (f *FS) Unlink(ctx *kstate.Ctx, path string) error {
+	ctx.Charge(syscallEntryCost)
+	ino, ok := f.dcache[path]
+	if !ok {
+		var exists bool
+		if ino, exists = f.findByPath(path); !exists {
+			return errNotFound(path)
+		}
+	}
+	ind := f.inodes[ino]
+	delete(f.dcache, path)
+	if ind.Nlink > 0 {
+		ind.Nlink--
+	}
+	if ind.Nlink == 0 {
+		// Fully unlinked: unreachable by path even while held open.
+		ind.Path = ""
+	}
+	if err := f.journalRecord(ctx, ino); err != nil {
+		return err
+	}
+	f.Stats.Unlinks++
+	if ind.Nlink == 0 && ind.Refs == 0 {
+		f.destroyInode(ctx, ind)
+	}
+	return nil
+}
+
+// destroyInode frees every kernel object attached to the inode.
+func (f *FS) destroyInode(ctx *kstate.Ctx, ind *Inode) {
+	ind.pages.Ascend(func(_ int64, p *Page) bool {
+		delete(f.frameOwner, p.Obj.Frame.ID)
+		f.freeObj(ctx, p.Obj)
+		return true
+	})
+	ind.pages.Clear()
+	for idx, o := range ind.radixNodes {
+		f.freeObj(ctx, o)
+		delete(ind.radixNodes, idx)
+	}
+	ind.extents.Ascend(func(_ int64, o *kobj.Object) bool {
+		f.freeObj(ctx, o)
+		return true
+	})
+	ind.extents.Clear()
+	f.freeObj(ctx, ind.dentry)
+	f.freeObj(ctx, ind.inodeObj)
+	ind.dentry, ind.inodeObj = nil, nil
+	ind.frameIndex = make(map[memsim.FrameID]int64)
+	delete(f.arenas, ind.Ino) // all objects freed above: the arena is empty
+	delete(f.inodes, ind.Ino)
+	for i, ino := range f.inodeOrder {
+		if ino == ind.Ino {
+			f.inodeOrder = append(f.inodeOrder[:i], f.inodeOrder[i+1:]...)
+			break
+		}
+	}
+	f.Hooks.InodeDeleted(ctx, ind.Ino)
+}
+
+// radixNode returns (allocating on demand) the radix-tree node covering
+// a page index, charging the traversal.
+func (f *FS) radixNode(ctx *kstate.Ctx, ind *Inode, idx int64) (*kobj.Object, error) {
+	slot := idx / radixFanout
+	if o, ok := ind.radixNodes[slot]; ok {
+		f.touchObj(ctx, o, 64, false)
+		return o, nil
+	}
+	o, err := f.allocObj(ctx, kobj.RadixNode, ind.Ino)
+	if err != nil {
+		return nil, err
+	}
+	ind.radixNodes[slot] = o
+	f.touchObj(ctx, o, 64, true)
+	return o, nil
+}
+
+// extentFor returns (allocating on demand) the extent mapping covering
+// a page index.
+func (f *FS) extentFor(ctx *kstate.Ctx, ind *Inode, idx int64) (*kobj.Object, error) {
+	base := idx / extentSpan
+	if o, ok := ind.extents.Get(base); ok {
+		f.touchObj(ctx, o, 0, false)
+		return o, nil
+	}
+	o, err := f.allocObj(ctx, kobj.Extent, ind.Ino)
+	if err != nil {
+		return nil, err
+	}
+	ind.extents.Set(base, o)
+	f.touchObj(ctx, o, 0, true)
+	return o, nil
+}

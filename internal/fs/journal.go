@@ -1,0 +1,56 @@
+package fs
+
+import (
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+)
+
+// journalMaxPending bounds the in-memory journal before a forced
+// commit, like jbd2's transaction size limit.
+const journalMaxPending = 128
+
+// journal state lives on FS to keep the struct count down; these
+// methods are the jbd2-like layer.
+
+// journalRecord logs one metadata update: a Journal buffer object is
+// allocated, written, and queued for the next commit.
+func (f *FS) journalRecord(ctx *kstate.Ctx, ino uint64) error {
+	o, err := f.allocObj(ctx, kobj.Journal, ino)
+	if err != nil {
+		return err
+	}
+	f.touchObj(ctx, o, journalRecordBytes, true)
+	f.journalPending = append(f.journalPending, o)
+	if len(f.journalPending) >= journalMaxPending {
+		return f.journalCommit(ctx)
+	}
+	return nil
+}
+
+// journalCommit writes the pending journal buffers sequentially to the
+// device and releases them (their death is most of the short slab
+// lifetime population in Fig 2d).
+func (f *FS) journalCommit(ctx *kstate.Ctx) error {
+	if len(f.journalPending) == 0 {
+		return nil
+	}
+	bytes := 0
+	for _, o := range f.journalPending {
+		f.touchObj(ctx, o, journalRecordBytes, false)
+		bytes += journalRecordBytes
+	}
+	ctx.Charge(f.MQ.Submit(ctx.CPU, ctx.Now, bytes, true, true))
+	for _, o := range f.journalPending {
+		f.freeObj(ctx, o)
+	}
+	f.journalPending = f.journalPending[:0]
+	f.Stats.JournalCommits++
+	return nil
+}
+
+// JournalPending reports queued journal buffers (tests).
+func (f *FS) JournalPending() int { return len(f.journalPending) }
+
+// SyncJournal forces a commit of pending journal buffers (the jbd2
+// commit timer; kernel daemons call this periodically).
+func (f *FS) SyncJournal(ctx *kstate.Ctx) error { return f.journalCommit(ctx) }

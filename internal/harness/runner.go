@@ -1,0 +1,344 @@
+// Package harness drives measured simulation runs and regenerates the
+// paper's tables and figures (DESIGN.md §4 maps each experiment to its
+// function here).
+package harness
+
+import (
+	"fmt"
+
+	"kloc/internal/fs"
+	"kloc/internal/kernel"
+	"kloc/internal/memsim"
+	"kloc/internal/metrics"
+	"kloc/internal/netsim"
+	"kloc/internal/policy"
+	"kloc/internal/sim"
+	"kloc/internal/workload"
+)
+
+// Platform selects the Table-4 machine.
+type Platform int
+
+// Platforms.
+const (
+	TwoTier Platform = iota
+	Optane
+)
+
+// RunConfig describes one measured run.
+type RunConfig struct {
+	Platform Platform
+	// TwoTier / Optane override the default (scaled) platform configs.
+	TwoTier *memsim.TwoTierConfig
+	Optane  *memsim.OptaneConfig
+	// ScaleDiv applies when no explicit platform config is given, and
+	// always scales the workload.
+	ScaleDiv int
+
+	PolicyName string
+	// Policy overrides PolicyName with a pre-built policy instance
+	// (used by experiments that need non-catalog configurations, e.g.
+	// the Fig 5c group sweep and the ablation benches).
+	Policy kernel.Policy
+
+	Workload string
+	WLConfig workload.Config
+
+	// KlocPrefetch enables the KLOC-aware readahead integration (§4.4).
+	KlocPrefetch bool
+	// ReadaheadWindow overrides the FS readahead window (-1 disables,
+	// 0 keeps the default).
+	ReadaheadWindow int
+
+	Seed uint64
+	// MoveTaskAtFrac, on the Optane platform, moves the task to socket
+	// 1 after this fraction of the measured duration (the §6.2
+	// interference scenario). 0 disables.
+	MoveTaskAtFrac float64
+
+	// Duration is the measured virtual run length; throughput is ops
+	// completed within it. Default 400 ms of virtual time. The
+	// workload's TotalOps acts as a safety cap.
+	Duration sim.Duration
+	// Warmup runs the workload (and daemons) before measurement begins
+	// so policies are judged at steady state. Default Duration/2.
+	Warmup sim.Duration
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Policy, Workload string
+	Ops              int
+	VirtualTime      sim.Duration
+	// Throughput in operations per virtual second.
+	Throughput float64
+
+	Mem      memsim.Stats
+	AppRefs  uint64
+	KernRefs uint64
+
+	// Allocation counts by class (pages), summed over nodes, and the
+	// slow/remote-node slice of them. These are measured-window deltas;
+	// TotalAllocsByClass covers the whole run including setup (the
+	// footprint-characterization view of Fig 2).
+	AllocsByClass      [6]uint64
+	SlowAllocsByClass  [6]uint64
+	TotalAllocsByClass [6]uint64
+
+	// Lifetime means.
+	AppLifetime, SlabLifetime, CacheLifetime sim.Duration
+
+	// KlocMetadataBytes is nonzero for KLOC policies (Table 6).
+	KlocMetadataBytes int
+
+	// ReadaheadIssued/Hits for the prefetch study.
+	ReadaheadIssued, ReadaheadHits uint64
+
+	// FastPathHitRate for the §4.3 ablation (KLOC policies).
+	FastPathHitRate float64
+
+	// FS / Net expose subsystem stats for the characterization tables.
+	FS  fs.Stats
+	Net netsim.Stats
+	// DevBusy is the storage device's total busy horizon (I/O pressure).
+	DevBusy sim.Duration
+	// OpCost summarizes per-operation virtual costs.
+	OpCost metrics.Distribution
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.ScaleDiv <= 0 {
+		c.ScaleDiv = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Duration <= 0 {
+		c.Duration = 400 * sim.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Duration / 2
+	}
+	c.WLConfig.ScaleDiv = c.ScaleDiv
+	return c
+}
+
+func (c RunConfig) buildMemory() *memsim.Memory {
+	switch c.Platform {
+	case Optane:
+		cfg := memsim.DefaultOptane(c.ScaleDiv)
+		if c.Optane != nil {
+			cfg = *c.Optane
+		}
+		return memsim.NewOptane(cfg)
+	default:
+		cfg := memsim.DefaultTwoTier(c.ScaleDiv)
+		if c.TwoTier != nil {
+			cfg = *c.TwoTier
+		}
+		if c.PolicyName == "all-fast" {
+			// The ideal bound: fast memory big enough for everything.
+			cfg.FastPages = cfg.SlowPages
+		}
+		return memsim.NewTwoTier(cfg)
+	}
+}
+
+// Run executes one measured simulation run.
+func Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	mem := cfg.buildMemory()
+	pol := cfg.Policy
+	if pol == nil {
+		var err error
+		pol, err = policy.ByName(cfg.PolicyName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	wl, err := workload.ByName(cfg.Workload, cfg.WLConfig)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	k := kernel.New(eng, mem, pol)
+	k.FS.KlocAwareReadahead = cfg.KlocPrefetch
+	if cfg.ReadaheadWindow != 0 {
+		w := cfg.ReadaheadWindow
+		if w < 0 {
+			w = 0
+		}
+		k.FS.ReadaheadWindow = w
+	}
+	root := sim.NewRNG(cfg.Seed)
+	if err := wl.Setup(k, root); err != nil {
+		return nil, fmt.Errorf("harness: setup %s: %w", wl.Name(), err)
+	}
+	// Warp past the setup phase's storage backlog: the measured window
+	// starts with an idle device, as the paper's warmed-up runs do.
+	if horizon := sim.Time(k.FS.MQ.Dev.BusyUntil()); horizon > eng.Now() {
+		eng.RunUntil(horizon)
+	}
+	setupEnd := eng.Now()
+	start := setupEnd.Add(cfg.Warmup)
+	k.Start()
+
+	threads := wl.Threads()
+	perThread := wl.TotalOps() / threads
+	if perThread < 1 {
+		perThread = 1
+	}
+	deadline := start.Add(cfg.Duration)
+	if cfg.Platform == Optane && cfg.MoveTaskAtFrac > 0 {
+		moveAt := start.Add(sim.Duration(cfg.MoveTaskAtFrac * float64(cfg.Duration)))
+		eng.Schedule(moveAt, func(*sim.Engine) { k.SetTaskSocket(1) })
+	}
+
+	var done, globalOps int
+	var stepErr error
+	var opCosts metrics.Distribution
+	var base statSnapshot
+	eng.Schedule(start, func(*sim.Engine) { base = snapshot(k) })
+	for t := 0; t < threads; t++ {
+		t := t
+		rng := root.Fork()
+		remaining := perThread
+		var step func(*sim.Engine)
+		finish := func(e *sim.Engine) {
+			done++
+			if done == threads {
+				// All threads retired: stop the policy daemons too.
+				e.Halt()
+			}
+		}
+		step = func(e *sim.Engine) {
+			if stepErr != nil || remaining == 0 || e.Now() >= deadline {
+				finish(e)
+				return
+			}
+			remaining--
+			if e.Now() >= start {
+				globalOps++
+			}
+			ctx := k.NewCtx(t)
+			if err := wl.Step(k, ctx, t, rng); err != nil {
+				stepErr = fmt.Errorf("harness: %s thread %d: %w", wl.Name(), t, err)
+				finish(e)
+				return
+			}
+			cost := ctx.Cost
+			if cost < 100 {
+				cost = 100
+			}
+			if e.Now() >= start {
+				opCosts.Observe(float64(cost))
+			}
+			e.After(cost, step)
+		}
+		// Stagger thread starts to avoid artificial convoys.
+		eng.Schedule(setupEnd.Add(sim.Duration(t)), step)
+	}
+	eng.Run()
+	if stepErr != nil {
+		return nil, stepErr
+	}
+	if done != threads {
+		return nil, fmt.Errorf("harness: %d/%d threads finished", done, threads)
+	}
+
+	res := collect(cfg, k, pol, wl, globalOps, start, base)
+	res.OpCost = opCosts
+	return res, nil
+}
+
+// statSnapshot captures the counters that are reported as
+// measured-window deltas.
+type statSnapshot struct {
+	refs         [6]uint64
+	allocsByNode map[memsim.NodeID][6]uint64
+	migrated     uint64
+	demotions    uint64
+	promotions   uint64
+	l4Hits       uint64
+	l4Misses     uint64
+	raIssued     uint64
+	raHits       uint64
+}
+
+func snapshot(k *kernel.Kernel) statSnapshot {
+	st := statSnapshot{
+		refs:         k.Mem.Stats.Refs,
+		allocsByNode: make(map[memsim.NodeID][6]uint64),
+		migrated:     k.Mem.Stats.MigratedPages,
+		demotions:    k.Mem.Stats.Demotions,
+		promotions:   k.Mem.Stats.Promotions,
+		l4Hits:       k.Mem.Stats.L4Hits,
+		l4Misses:     k.Mem.Stats.L4Misses,
+		raIssued:     k.FS.Stats.ReadaheadIssued,
+		raHits:       k.FS.Stats.ReadaheadHits,
+	}
+	for node, counts := range k.Mem.Stats.AllocsByClassNode {
+		st.allocsByNode[node] = *counts
+	}
+	return st
+}
+
+func collect(cfg RunConfig, k *kernel.Kernel, pol kernel.Policy, wl workload.Workload, ops int, start sim.Time, base statSnapshot) *Result {
+	mem := k.Mem
+	res := &Result{
+		Policy:      pol.Name(),
+		Workload:    wl.Name(),
+		Ops:         ops,
+		VirtualTime: k.Eng.Now().Sub(start),
+		Mem:         mem.Stats,
+	}
+	if res.VirtualTime > 0 {
+		res.Throughput = float64(ops) / res.VirtualTime.Seconds()
+	}
+	res.Mem.MigratedPages -= base.migrated
+	res.Mem.Demotions -= base.demotions
+	res.Mem.Promotions -= base.promotions
+	res.Mem.L4Hits -= base.l4Hits
+	res.Mem.L4Misses -= base.l4Misses
+	for class := 0; class < 6; class++ {
+		c := memsim.Class(class)
+		refs := mem.Stats.Refs[class] - base.refs[class]
+		if c.Kernel() {
+			res.KernRefs += refs
+		} else if c == memsim.ClassApp {
+			res.AppRefs += refs
+		}
+		for node, counts := range mem.Stats.AllocsByClassNode {
+			delta := counts[class] - base.allocsByNode[node][class]
+			res.AllocsByClass[class] += delta
+			res.TotalAllocsByClass[class] += counts[class]
+			if slowNodeOf(cfg) == node {
+				res.SlowAllocsByClass[class] += delta
+			}
+		}
+	}
+	res.AppLifetime = k.Lifetimes.MeanLifetime("app")
+	res.SlabLifetime = k.Lifetimes.MeanLifetime("slab")
+	res.CacheLifetime = k.Lifetimes.MeanLifetime("cache")
+	res.ReadaheadIssued = k.FS.Stats.ReadaheadIssued - base.raIssued
+	res.ReadaheadHits = k.FS.Stats.ReadaheadHits - base.raHits
+	res.FS = k.FS.Stats
+	res.Net = k.Net.Stats
+	res.DevBusy = sim.Duration(k.FS.MQ.Dev.BusyUntil())
+	if kp, ok := pol.(*policy.KLOCs); ok {
+		res.KlocMetadataBytes = kp.MetadataBytes()
+		res.FastPathHitRate = kp.Reg.FastPathHitRate()
+	}
+	return res
+}
+
+// slowNodeOf identifies the "slow"/remote node for allocation slicing:
+// the slow tier on two-tier, socket 1 on Optane (the socket the task
+// does not start on).
+func slowNodeOf(cfg RunConfig) memsim.NodeID {
+	if cfg.Platform == Optane {
+		return memsim.Socket1Node
+	}
+	return memsim.SlowNode
+}

@@ -1,0 +1,263 @@
+// Package kernel assembles the simulated OS: the memory system, the
+// filesystem, the network stack, application-page management, lifetime
+// accounting, and the policy daemon loop. Workloads talk to a Kernel;
+// policies steer it through the kstate.Hooks they implement.
+package kernel
+
+import (
+	"kloc/internal/blockdev"
+	"kloc/internal/fs"
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/metrics"
+	"kloc/internal/netsim"
+	"kloc/internal/sim"
+)
+
+// appIDBit distinguishes app-page frame IDs from kernel-object IDs in
+// the lifetime tracker's shared keyspace.
+const appIDBit = uint64(1) << 63
+
+// Policy is what a tiering strategy must provide beyond the kernel
+// hooks: identity, attachment, and a periodic daemon tick.
+type Policy interface {
+	kstate.Hooks
+	Name() string
+	// Attach wires the policy to the kernel before the run starts.
+	Attach(k *Kernel)
+	// Tick runs the policy's background daemon work (LRU scans,
+	// migrations) and returns the virtual time it consumed. The daemon
+	// reschedules itself after max(period, cost).
+	Tick(now sim.Time) sim.Duration
+	// TickPeriod is the daemon cadence.
+	TickPeriod() sim.Duration
+}
+
+// Stats aggregates kernel-level accounting.
+type Stats struct {
+	AppPagesAllocated uint64
+	AppPagesFreed     uint64
+	AppAccesses       uint64
+	Syscalls          uint64
+}
+
+// Kernel is the assembled simulated OS instance.
+type Kernel struct {
+	Eng *sim.Engine
+	Mem *memsim.Memory
+	FS  *fs.FS
+	Net *netsim.Net
+
+	Policy Policy
+
+	// Lifetimes records object/page lifetimes by class (Fig 2d).
+	Lifetimes *metrics.LifetimeTracker
+
+	// taskSocket is the socket the workload currently runs on (Optane
+	// experiments migrate the task mid-run).
+	taskSocket int
+
+	objIDs kstate.IDGen
+	inoGen kstate.IDGen
+
+	appPages map[memsim.FrameID]*memsim.Frame
+
+	Stats Stats
+}
+
+// New assembles a kernel over a memory platform with the given policy.
+func New(eng *sim.Engine, mem *memsim.Memory, pol Policy) *Kernel {
+	k := &Kernel{
+		Eng:       eng,
+		Mem:       mem,
+		Policy:    pol,
+		Lifetimes: metrics.NewLifetimeTracker(),
+		appPages:  make(map[memsim.FrameID]*memsim.Frame),
+	}
+	hooks := &muxHooks{kernel: k, policy: pol}
+	mq := blockdev.NewMQ(blockdev.SimNVMe(), mem.NumCPUs())
+	k.FS = fs.New(mem, mq, hooks, &k.objIDs, &k.inoGen)
+	k.Net = netsim.New(mem, hooks, &k.objIDs, &k.inoGen)
+	k.Net.ReclaimFn = k.FS.Reclaim
+	pol.Attach(k)
+	return k
+}
+
+// Start launches the policy daemon on the engine.
+func (k *Kernel) Start() {
+	period := k.Policy.TickPeriod()
+	if period <= 0 {
+		return
+	}
+	var tick func(*sim.Engine)
+	tick = func(e *sim.Engine) {
+		cost := k.Policy.Tick(e.Now())
+		next := period
+		if cost > next {
+			next = cost
+		}
+		e.After(next, tick)
+	}
+	k.Eng.After(period, tick)
+}
+
+// TaskSocket reports the socket the workload runs on.
+func (k *Kernel) TaskSocket() int { return k.taskSocket }
+
+// SetTaskSocket moves the workload's execution to another socket
+// (the Optane interference scenario, §6.2).
+func (k *Kernel) SetTaskSocket(s int) { k.taskSocket = s }
+
+// CPUFor maps a workload thread to a CPU on the current task socket.
+func (k *Kernel) CPUFor(thread int) int {
+	var local []int
+	for cpu, sock := range k.Mem.CPUSocket {
+		if sock == k.taskSocket {
+			local = append(local, cpu)
+		}
+	}
+	if len(local) == 0 {
+		return thread % k.Mem.NumCPUs()
+	}
+	return local[thread%len(local)]
+}
+
+// NewCtx builds an operation context for a workload thread at the
+// current virtual time.
+func (k *Kernel) NewCtx(thread int) *kstate.Ctx {
+	k.Stats.Syscalls++
+	return &kstate.Ctx{CPU: k.CPUFor(thread), Now: k.Eng.Now()}
+}
+
+// --- application pages ---
+
+// AppAlloc allocates n application pages placed by the policy,
+// returning the frames. Fails when memory is exhausted.
+func (k *Kernel) AppAlloc(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
+	order := k.Policy.PlaceApp(ctx)
+	out := make([]*memsim.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := k.Mem.AllocFallback(order, memsim.ClassApp, ctx.Now)
+		if err == memsim.ErrNoMemory && k.FS.Reclaim(ctx, 64) > 0 {
+			f, err = k.Mem.AllocFallback(order, memsim.ClassApp, ctx.Now)
+		}
+		if err != nil {
+			return out, err
+		}
+		ctx.Charge(300) // page fault + zeroing fast path
+		k.appPages[f.ID] = f
+		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
+		k.Stats.AppPagesAllocated++
+		k.Policy.PageAllocated(ctx, f)
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// hugeOrder is the transparent-huge-page order (2 MB).
+const hugeOrder = 9
+
+// AppAllocHuge allocates n transparent huge pages (2 MB compound
+// frames) placed by the policy. THP regions tier as single units, which
+// is how §5 expects KLOCs to compose with multi-page sizes.
+func (k *Kernel) AppAllocHuge(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
+	order := k.Policy.PlaceApp(ctx)
+	out := make([]*memsim.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		var f *memsim.Frame
+		var err error
+		for _, node := range order {
+			if f, err = k.Mem.AllocOrder(node, memsim.ClassApp, hugeOrder, ctx.Now); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return out, err
+		}
+		ctx.Charge(1200) // huge-page fault: clearing + mapping
+		k.appPages[f.ID] = f
+		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
+		k.Stats.AppPagesAllocated += uint64(f.Pages())
+		k.Policy.PageAllocated(ctx, f)
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// AppAccess touches an application page.
+func (k *Kernel) AppAccess(ctx *kstate.Ctx, f *memsim.Frame, bytes int, write bool) {
+	if bytes <= 0 {
+		bytes = memsim.PageSize
+	}
+	ctx.Charge(k.Mem.Access(ctx.CPU, f, bytes, write, ctx.Now))
+	k.Stats.AppAccesses++
+	k.Policy.PageAccessed(ctx, f)
+}
+
+// AppFree releases application pages.
+func (k *Kernel) AppFree(ctx *kstate.Ctx, frames []*memsim.Frame) {
+	for _, f := range frames {
+		if _, ok := k.appPages[f.ID]; !ok {
+			continue
+		}
+		delete(k.appPages, f.ID)
+		k.Lifetimes.Died(appIDBit|uint64(f.ID), "app", ctx.Now)
+		k.Policy.PageFreed(ctx, f)
+		k.Mem.Free(f)
+		k.Stats.AppPagesFreed++
+	}
+}
+
+// AppPages reports the live app-page count.
+func (k *Kernel) AppPages() int { return len(k.appPages) }
+
+// ObjIDs exposes the shared object-ID generator (tests).
+func (k *Kernel) ObjIDs() *kstate.IDGen { return &k.objIDs }
+
+// lifetimeClass buckets object types the way Fig 2d reports them.
+func lifetimeClass(t kobj.Type) string {
+	if t.Info().Alloc == kobj.AllocSlab {
+		return "slab"
+	}
+	return "cache"
+}
+
+// muxHooks fans kernel-internal accounting and the policy's hooks out
+// of one Hooks implementation handed to fs and netsim.
+type muxHooks struct {
+	kernel *Kernel
+	policy Policy
+}
+
+func (m *muxHooks) PlaceKernel(ctx *kstate.Ctx, t kobj.Type, ino uint64) []memsim.NodeID {
+	return m.policy.PlaceKernel(ctx, t, ino)
+}
+func (m *muxHooks) PlaceApp(ctx *kstate.Ctx) []memsim.NodeID { return m.policy.PlaceApp(ctx) }
+func (m *muxHooks) UseKlocAllocator(t kobj.Type) bool        { return m.policy.UseKlocAllocator(t) }
+func (m *muxHooks) DriverSockExtract() bool                  { return m.policy.DriverSockExtract() }
+
+func (m *muxHooks) InodeCreated(ctx *kstate.Ctx, ino uint64, sock bool) {
+	m.policy.InodeCreated(ctx, ino, sock)
+}
+func (m *muxHooks) InodeOpened(ctx *kstate.Ctx, ino uint64)  { m.policy.InodeOpened(ctx, ino) }
+func (m *muxHooks) InodeClosed(ctx *kstate.Ctx, ino uint64)  { m.policy.InodeClosed(ctx, ino) }
+func (m *muxHooks) InodeDeleted(ctx *kstate.Ctx, ino uint64) { m.policy.InodeDeleted(ctx, ino) }
+
+func (m *muxHooks) ObjectCreated(ctx *kstate.Ctx, ino uint64, o *kobj.Object) {
+	m.kernel.Lifetimes.Born(uint64(o.ID), ctx.Now)
+	m.policy.ObjectCreated(ctx, ino, o)
+}
+func (m *muxHooks) ObjectAssociated(ctx *kstate.Ctx, ino uint64, o *kobj.Object) {
+	m.policy.ObjectAssociated(ctx, ino, o)
+}
+func (m *muxHooks) ObjectFreed(ctx *kstate.Ctx, o *kobj.Object) {
+	m.kernel.Lifetimes.Died(uint64(o.ID), lifetimeClass(o.Type), ctx.Now)
+	m.policy.ObjectFreed(ctx, o)
+}
+
+func (m *muxHooks) PageAllocated(ctx *kstate.Ctx, f *memsim.Frame) { m.policy.PageAllocated(ctx, f) }
+func (m *muxHooks) PageAccessed(ctx *kstate.Ctx, f *memsim.Frame)  { m.policy.PageAccessed(ctx, f) }
+func (m *muxHooks) PageFreed(ctx *kstate.Ctx, f *memsim.Frame)     { m.policy.PageFreed(ctx, f) }
+
+var _ kstate.Hooks = (*muxHooks)(nil)

@@ -1,0 +1,186 @@
+// Package kobj defines the kernel-object taxonomy of the paper's
+// Table 1: the filesystem and networking objects whose placement KLOCs
+// manage, together with their size, domain, and allocation class.
+//
+// Objects are the unit the KLOC abstraction tracks: each live object
+// references the page frame(s) it occupies and (once associated) the
+// knode of the file or socket it belongs to.
+package kobj
+
+import (
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+// Type enumerates Table 1's kernel object structures.
+type Type uint8
+
+// Kernel object types (Table 1).
+const (
+	Inode      Type = iota // per-file inode (FS + network: sockets are files)
+	Block                  // block I/O structure (bio)
+	Journal                // filesystem journal buffer
+	PageCache              // buffer-cache page
+	Dentry                 // name resolution entry
+	Extent                 // contiguous-disk-block grouping
+	BlkMQ                  // block-layer multi-queue structure
+	Sock                   // socket object
+	SkBuff                 // packet-buffer header
+	SkBuffData             // packet data buffer
+	RxBuf                  // network receive driver buffer
+	RadixNode              // page-cache radix-tree node (§3.1)
+	numTypes
+)
+
+// Domain says which subsystem an object belongs to.
+type Domain uint8
+
+// Domains.
+const (
+	DomainFS Domain = iota
+	DomainNet
+	DomainBoth
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainNet:
+		return "network"
+	case DomainBoth:
+		return "fs/network"
+	default:
+		return "fs"
+	}
+}
+
+// AllocClass says which allocator creates objects of a type (§3.3).
+type AllocClass uint8
+
+// Allocation classes.
+const (
+	AllocSlab AllocClass = iota // kmalloc/kmem_cache_alloc: fast, pinned
+	AllocPage                   // page allocator: relocatable
+)
+
+// Info describes a kernel object type.
+type Info struct {
+	Name  string
+	Dom   Domain
+	Size  int // bytes per object
+	Alloc AllocClass
+}
+
+var infos = [numTypes]Info{
+	Inode:      {"inode", DomainBoth, 600, AllocSlab},
+	Block:      {"block", DomainFS, 256, AllocSlab},
+	Journal:    {"journal", DomainFS, 1024, AllocSlab},
+	PageCache:  {"page_cache", DomainFS, memsim.PageSize, AllocPage},
+	Dentry:     {"dentry", DomainFS, 192, AllocSlab},
+	Extent:     {"extent", DomainFS, 96, AllocSlab},
+	BlkMQ:      {"blk_mq", DomainFS, 512, AllocSlab},
+	Sock:       {"sock", DomainNet, 1024, AllocSlab},
+	SkBuff:     {"skbuff", DomainNet, 232, AllocSlab},
+	SkBuffData: {"skbuff_data", DomainNet, 2048, AllocPage},
+	RxBuf:      {"rx_buf", DomainNet, memsim.PageSize, AllocPage},
+	RadixNode:  {"radix_node", DomainFS, 576, AllocSlab},
+}
+
+// Info returns the descriptor for a type.
+func (t Type) Info() Info { return infos[t] }
+
+// String returns the Table-1 name.
+func (t Type) String() string { return infos[t].Name }
+
+// Types returns all Table-1 object types in declaration order.
+func Types() []Type {
+	out := make([]Type, numTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Group buckets types for the Fig 5c sensitivity study, which
+// incrementally adds KLOC support for page caches, journals, slab
+// objects, socket buffers, and block I/O.
+type Group uint8
+
+// Fig 5c groups.
+const (
+	GroupPageCache Group = iota
+	GroupJournal
+	GroupSlab
+	GroupSockBuf
+	GroupBlockIO
+	numGroups
+)
+
+func (g Group) String() string {
+	switch g {
+	case GroupPageCache:
+		return "page-cache"
+	case GroupJournal:
+		return "journal"
+	case GroupSlab:
+		return "slab"
+	case GroupSockBuf:
+		return "socket-buffers"
+	default:
+		return "block-io"
+	}
+}
+
+// Groups returns the Fig 5c groups in the paper's cumulative order.
+func Groups() []Group {
+	return []Group{GroupPageCache, GroupJournal, GroupSlab, GroupSockBuf, GroupBlockIO}
+}
+
+// GroupOf maps a type to its sensitivity group.
+func GroupOf(t Type) Group {
+	switch t {
+	case PageCache, RadixNode:
+		return GroupPageCache
+	case Journal:
+		return GroupJournal
+	case Inode, Dentry, Extent:
+		return GroupSlab
+	case Sock, SkBuff, SkBuffData, RxBuf:
+		return GroupSockBuf
+	default: // Block, BlkMQ
+		return GroupBlockIO
+	}
+}
+
+// ID identifies a live kernel object.
+type ID uint64
+
+// Object is a live kernel object instance.
+type Object struct {
+	ID    ID
+	Type  Type
+	Size  int
+	Frame *memsim.Frame
+	// Knode is the owning KLOC (0 until associated).
+	Knode uint64
+	Born  sim.Time
+	// release returns the object's storage to its allocator.
+	release func()
+}
+
+// NewObject constructs an object occupying the given frame. The release
+// callback (may be nil) is invoked exactly once by Release.
+func NewObject(id ID, t Type, frame *memsim.Frame, born sim.Time, release func()) *Object {
+	return &Object{ID: id, Type: t, Size: t.Info().Size, Frame: frame, Born: born, release: release}
+}
+
+// Release returns the object's storage. Safe to call once.
+func (o *Object) Release() {
+	if o.release != nil {
+		r := o.release
+		o.release = nil
+		r()
+	}
+}
+
+// Relocatable reports whether the object's storage can migrate.
+func (o *Object) Relocatable() bool { return o.Frame != nil && !o.Frame.Pinned }

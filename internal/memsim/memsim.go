@@ -1,0 +1,532 @@
+// Package memsim models the heterogeneous memory platforms of the
+// paper's §6.2: page frames living on memory nodes with distinct
+// latency/bandwidth/capacity, a cross-socket interconnect, an optional
+// hardware-managed DRAM L4 cache in front of persistent memory (Intel
+// Optane "Memory Mode"), and a migration engine with Nimble-style
+// parallel page copies.
+//
+// The simulator tracks frame *metadata* only — a 4 KB page is a struct,
+// not 4 KB of bytes — so experiments can afford millions of pages.
+// All costs are returned as virtual durations; callers charge them to
+// the simulation engine.
+package memsim
+
+import (
+	"sort"
+
+	"fmt"
+
+	"kloc/internal/sim"
+)
+
+// PageSize is the simulated page size in bytes. The paper focuses on
+// 4 KB pages (§5, "KLOC support for multi-page size").
+const PageSize = 4096
+
+// NodeID identifies a memory node.
+type NodeID int
+
+// NodeKind distinguishes memory technologies.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	DRAM NodeKind = iota
+	PMEM
+)
+
+func (k NodeKind) String() string {
+	if k == PMEM {
+		return "pmem"
+	}
+	return "dram"
+}
+
+// Class labels what a frame holds. Fig 2 and Fig 5b break results down
+// by exactly these classes.
+type Class uint8
+
+// Frame classes.
+const (
+	ClassFree  Class = iota
+	ClassApp         // application (userspace) page
+	ClassCache       // page cache page (non-slab kernel object)
+	ClassSlab        // slab-allocated kernel objects
+	ClassKloc        // kernel objects on the relocatable KLOC allocator
+	ClassMeta        // KLOC bookkeeping metadata (knodes, trees)
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassApp:
+		return "app"
+	case ClassCache:
+		return "cache"
+	case ClassSlab:
+		return "slab"
+	case ClassKloc:
+		return "kloc"
+	case ClassMeta:
+		return "meta"
+	default:
+		return "free"
+	}
+}
+
+// Kernel reports whether the class is a kernel-object class.
+func (c Class) Kernel() bool {
+	return c == ClassCache || c == ClassSlab || c == ClassKloc || c == ClassMeta
+}
+
+// Node is one memory device: a tier in the two-tier platform or a
+// socket's memory in the Optane platform.
+type Node struct {
+	ID       NodeID
+	Name     string
+	Kind     NodeKind
+	Socket   int
+	Capacity int // pages
+
+	// ReadLatency/WriteLatency are per-access device latencies.
+	ReadLatency  sim.Duration
+	WriteLatency sim.Duration
+	// Bandwidth in bytes per nanosecond (1 GB/s ≈ 1.074 B/ns; we use
+	// decimal GB: 1 GB/s = 1 B/ns).
+	Bandwidth float64
+
+	used int
+	// migBusyUntil marks the node as carrying background migration
+	// traffic; accesses before this time pay a bandwidth penalty.
+	// Excessive migration damaging performance is a real effect the
+	// paper calls out in §7.2.
+	migBusyUntil sim.Time
+}
+
+// Used reports allocated pages.
+func (n *Node) Used() int { return n.used }
+
+// Free reports unallocated pages.
+func (n *Node) Free() int { return n.Capacity - n.used }
+
+// FrameID identifies a page frame.
+type FrameID uint64
+
+// Frame is the metadata for one simulated physical page — or, when
+// Order > 0, a compound (huge) page covering 2^Order base pages (§5's
+// multi-page-size support: THP regions tier as a unit).
+type Frame struct {
+	ID    FrameID
+	Node  NodeID
+	Class Class
+	// Order is the compound-page order: 0 = 4 KB, 9 = 2 MB.
+	Order uint8
+
+	// Pinned frames cannot migrate (slab allocations, §3.3: "cannot be
+	// relocated").
+	Pinned bool
+	// Dirty pages must be written back before reclaim.
+	Dirty bool
+
+	// Knode associates the frame with a KLOC (0 = none).
+	Knode uint64
+
+	Allocated  sim.Time
+	LastAccess sim.Time
+	// Migrations counts moves; the paper uses an 8-bit per-page counter
+	// to damp ping-ponging (§4.5).
+	Migrations uint8
+}
+
+// Stats aggregates the accounting the evaluation section needs.
+type Stats struct {
+	// Refs counts memory references by class (Fig 2c).
+	Refs [6]uint64
+	// BytesTouched counts bytes moved through each class.
+	BytesTouched [6]uint64
+	// AllocsByClassNode counts page allocations per class per node
+	// (Fig 2a/2b, Fig 5b "pages allocated in slow memory").
+	AllocsByClassNode map[NodeID]*[6]uint64
+	// Demotions / Promotions count page migrations fast->slow and
+	// slow->fast (or local<->remote) (§4.4, Fig 5b).
+	Demotions  uint64
+	Promotions uint64
+	// MigratedPages counts every page move.
+	MigratedPages uint64
+	// L4Hits/L4Misses count Memory-Mode DRAM cache behaviour.
+	L4Hits, L4Misses uint64
+	// RefsByNode counts references served by each node (placement
+	// quality: the fraction served by the fast/local node).
+	RefsByNode map[NodeID]uint64
+}
+
+// Memory is a set of nodes plus topology: which socket each CPU lives
+// on, interconnect cost, and optional per-socket L4 caches.
+type Memory struct {
+	Nodes []*Node
+	// CPUSocket maps logical CPU -> socket.
+	CPUSocket []int
+	// Interconnect is the added latency for a cross-socket access.
+	Interconnect sim.Duration
+	// RemoteBandwidthFactor scales bandwidth for cross-socket accesses
+	// (QPI/UPI is narrower than the local memory bus).
+	RemoteBandwidthFactor float64
+
+	// l4 caches, indexed by socket; nil entries mean no cache.
+	l4 []*l4Cache
+
+	frames    map[FrameID]*Frame
+	nextFrame FrameID
+	// usedByClass tracks current page occupancy per node per class
+	// (capacity-limit enforcement, sys_kloc_memsize).
+	usedByClass map[NodeID]*[6]int
+
+	Stats Stats
+}
+
+// New builds a Memory from nodes and a CPU->socket map.
+func New(nodes []*Node, cpuSocket []int, interconnect sim.Duration) *Memory {
+	m := &Memory{
+		Nodes:                 nodes,
+		CPUSocket:             cpuSocket,
+		Interconnect:          interconnect,
+		RemoteBandwidthFactor: 0.6,
+		frames:                make(map[FrameID]*Frame),
+		nextFrame:             1,
+	}
+	m.Stats.AllocsByClassNode = make(map[NodeID]*[6]uint64)
+	m.Stats.RefsByNode = make(map[NodeID]uint64)
+	m.usedByClass = make(map[NodeID]*[6]int)
+	for _, n := range nodes {
+		m.Stats.AllocsByClassNode[n.ID] = &[6]uint64{}
+		m.usedByClass[n.ID] = &[6]int{}
+	}
+	maxSock := 0
+	for _, s := range cpuSocket {
+		if s > maxSock {
+			maxSock = s
+		}
+	}
+	m.l4 = make([]*l4Cache, maxSock+1)
+	return m
+}
+
+// Node returns the node with the given id.
+func (m *Memory) Node(id NodeID) *Node { return m.Nodes[int(id)] }
+
+// AttachL4 installs a hardware-managed DRAM cache of capacityPages in
+// front of all accesses from the given socket, with the given hit
+// latency/bandwidth (Memory Mode, §6.2).
+func (m *Memory) AttachL4(socket, capacityPages int, hitLatency sim.Duration, hitBandwidth float64) {
+	m.l4[socket] = newL4Cache(capacityPages, hitLatency, hitBandwidth)
+}
+
+// SocketOf returns the socket of a CPU.
+func (m *Memory) SocketOf(cpu int) int {
+	if cpu < 0 || cpu >= len(m.CPUSocket) {
+		return 0
+	}
+	return m.CPUSocket[cpu]
+}
+
+// NumCPUs reports the number of logical CPUs.
+func (m *Memory) NumCPUs() int { return len(m.CPUSocket) }
+
+// ErrNoMemory is returned when a node has no free pages.
+var ErrNoMemory = fmt.Errorf("memsim: node full")
+
+// Alloc allocates one base-order frame on the given node for the given
+// class.
+func (m *Memory) Alloc(node NodeID, class Class, now sim.Time) (*Frame, error) {
+	return m.AllocOrder(node, class, 0, now)
+}
+
+// AllocOrder allocates a compound frame of 2^order base pages.
+func (m *Memory) AllocOrder(node NodeID, class Class, order uint8, now sim.Time) (*Frame, error) {
+	n := m.Node(node)
+	pages := 1 << order
+	if n.used+pages > n.Capacity {
+		return nil, ErrNoMemory
+	}
+	n.used += pages
+	f := &Frame{
+		ID:         m.nextFrame,
+		Node:       node,
+		Class:      class,
+		Order:      order,
+		Allocated:  now,
+		LastAccess: now,
+	}
+	m.nextFrame++
+	m.frames[f.ID] = f
+	m.Stats.AllocsByClassNode[node][class] += uint64(pages)
+	m.usedByClass[node][class] += pages
+	return f, nil
+}
+
+// Pages reports the base pages a frame covers.
+func (f *Frame) Pages() int { return 1 << f.Order }
+
+// UsedByClass reports a node's current page occupancy for a class.
+func (m *Memory) UsedByClass(node NodeID, class Class) int {
+	return m.usedByClass[node][class]
+}
+
+// KernelUsed reports a node's current page occupancy across all
+// kernel-object classes.
+func (m *Memory) KernelUsed(node NodeID) int {
+	u := m.usedByClass[node]
+	return u[ClassCache] + u[ClassSlab] + u[ClassKloc] + u[ClassMeta]
+}
+
+// AllocFallback tries nodes in order, returning the first success.
+func (m *Memory) AllocFallback(order []NodeID, class Class, now sim.Time) (*Frame, error) {
+	for _, id := range order {
+		if f, err := m.Alloc(id, class, now); err == nil {
+			return f, nil
+		}
+	}
+	return nil, ErrNoMemory
+}
+
+// Free releases a frame.
+func (m *Memory) Free(f *Frame) {
+	if f == nil {
+		return
+	}
+	if _, ok := m.frames[f.ID]; !ok {
+		return // double free is a no-op
+	}
+	m.Node(f.Node).used -= f.Pages()
+	m.usedByClass[f.Node][f.Class] -= f.Pages()
+	delete(m.frames, f.ID)
+	f.Class = ClassFree
+}
+
+// Frames returns the number of live frames.
+func (m *Memory) Frames() int { return len(m.frames) }
+
+// FramesOn returns the live frames on a node, sorted by frame ID for
+// deterministic iteration (Go map order is randomized).
+func (m *Memory) FramesOn(node NodeID) []*Frame {
+	out := make([]*Frame, 0, m.Node(node).Used())
+	for _, f := range m.frames {
+		if f.Node == node {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Access charges a read or write of `bytes` bytes on frame f from the
+// given CPU and returns the virtual cost. It updates recency metadata
+// and reference statistics.
+func (m *Memory) Access(cpu int, f *Frame, bytes int, write bool, now sim.Time) sim.Duration {
+	f.LastAccess = now
+	if write {
+		f.Dirty = true
+	}
+	m.Stats.Refs[f.Class]++
+	m.Stats.BytesTouched[f.Class] += uint64(bytes)
+	m.Stats.RefsByNode[f.Node]++
+	node := m.Node(f.Node)
+	sock := m.SocketOf(cpu)
+
+	// Memory-Mode: the socket-local DRAM L4 cache intercepts accesses to
+	// PMEM nodes on the same socket.
+	if node.Kind == PMEM && sock == node.Socket {
+		if c := m.l4[sock]; c != nil {
+			if c.access(f.ID) {
+				m.Stats.L4Hits++
+				return c.hitLatency + sim.Duration(float64(bytes)/c.hitBandwidth)
+			}
+			m.Stats.L4Misses++
+			// Fall through: pay PMEM cost; the line is now cached.
+		}
+	}
+
+	lat := node.ReadLatency
+	if write {
+		lat = node.WriteLatency
+	}
+	bw := node.Bandwidth
+	if sock != node.Socket {
+		lat += m.Interconnect
+		bw *= m.RemoteBandwidthFactor
+	}
+	if now < node.migBusyUntil {
+		// Background migration is consuming this node's bandwidth.
+		bw *= migrationBandwidthShare
+	}
+	return lat + sim.Duration(float64(bytes)/bw)
+}
+
+// migrationBandwidthShare is the fraction of node bandwidth left for
+// foreground traffic while migration copies are in flight.
+const migrationBandwidthShare = 0.8
+
+// NoteMigrationLoad extends a node's migration-busy horizon by d.
+func (m *Memory) NoteMigrationLoad(id NodeID, now sim.Time, d sim.Duration) {
+	n := m.Node(id)
+	if n.migBusyUntil < now {
+		n.migBusyUntil = now
+	}
+	n.migBusyUntil = n.migBusyUntil.Add(d)
+}
+
+// CanMigrate reports whether a frame is movable to dst right now.
+func (m *Memory) CanMigrate(f *Frame, dst NodeID) bool {
+	if f == nil || f.Pinned || f.Node == dst {
+		return false
+	}
+	return m.Node(dst).Free() >= f.Pages()
+}
+
+// MoveFrame relocates a single frame to dst, updating occupancy and
+// stats, and returns the copy cost (before parallelism scaling).
+// It panics if the move is invalid; use CanMigrate first.
+func (m *Memory) MoveFrame(f *Frame, dst NodeID, fixed sim.Duration) sim.Duration {
+	if !m.CanMigrate(f, dst) {
+		panic("memsim: invalid migration")
+	}
+	src := m.Node(f.Node)
+	dstN := m.Node(dst)
+	src.used -= f.Pages()
+	dstN.used += f.Pages()
+	m.usedByClass[f.Node][f.Class] -= f.Pages()
+	m.usedByClass[dst][f.Class] += f.Pages()
+	fasterDst := dstN.ReadLatency < src.ReadLatency ||
+		(dstN.ReadLatency == src.ReadLatency && dstN.Bandwidth > src.Bandwidth)
+	if fasterDst {
+		m.Stats.Promotions++
+	} else {
+		m.Stats.Demotions++
+	}
+	m.Stats.MigratedPages += uint64(f.Pages())
+	f.Node = dst
+	if f.Migrations < 255 {
+		f.Migrations++
+	}
+	bw := src.Bandwidth
+	if dstN.Bandwidth < bw {
+		bw = dstN.Bandwidth
+	}
+	return fixed + sim.Duration(float64(PageSize*f.Pages())/bw)
+}
+
+// Migrator batches frame moves with a parallel-copy model: Nimble
+// parallelizes page copies across threads (§2, Table 5), dividing the
+// serial copy time by Parallelism.
+type Migrator struct {
+	Mem *Memory
+	// FixedPerPage covers page-table updates and TLB shootdown.
+	FixedPerPage sim.Duration
+	// Parallelism is the number of concurrent copy threads.
+	Parallelism int
+}
+
+// Migrate moves every movable frame in the batch to dst, stopping when
+// dst fills. It returns the pages moved and the total virtual cost, and
+// marks both endpoints migration-busy for that duration (copies consume
+// bandwidth that foreground accesses then contend for).
+func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved int, cost sim.Duration) {
+	var serial sim.Duration
+	srcSeen := make(map[NodeID]struct{})
+	for _, f := range frames {
+		if !mg.Mem.CanMigrate(f, dst) {
+			continue
+		}
+		srcSeen[f.Node] = struct{}{}
+		serial += mg.Mem.MoveFrame(f, dst, mg.FixedPerPage)
+		moved++
+	}
+	p := mg.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	cost = serial / sim.Duration(p)
+	if moved > 0 {
+		mg.Mem.NoteMigrationLoad(dst, now, cost)
+		for src := range srcSeen {
+			mg.Mem.NoteMigrationLoad(src, now, cost)
+		}
+	}
+	return moved, cost
+}
+
+// --- L4 cache (Memory Mode) ---
+
+// l4Cache is a fully-associative LRU page cache standing in for the
+// hardware-managed DRAM cache of Optane Memory Mode. Real hardware is
+// direct-mapped at cacheline granularity; at the page granularity our
+// workloads operate on, LRU over frame IDs captures the same
+// hit-when-hot / miss-when-cold behaviour the evaluation depends on.
+type l4Cache struct {
+	capacity     int
+	hitLatency   sim.Duration
+	hitBandwidth float64
+
+	entries map[FrameID]*l4Entry
+	head    *l4Entry // most recent
+	tail    *l4Entry // least recent
+}
+
+type l4Entry struct {
+	id         FrameID
+	prev, next *l4Entry
+}
+
+func newL4Cache(capacity int, hitLatency sim.Duration, hitBandwidth float64) *l4Cache {
+	return &l4Cache{
+		capacity:     capacity,
+		hitLatency:   hitLatency,
+		hitBandwidth: hitBandwidth,
+		entries:      make(map[FrameID]*l4Entry),
+	}
+}
+
+// access touches id, returns true on hit, and inserts on miss (evicting
+// the LRU entry if full).
+func (c *l4Cache) access(id FrameID) bool {
+	if e, ok := c.entries[id]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		return true
+	}
+	if len(c.entries) >= c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.id)
+	}
+	e := &l4Entry{id: id}
+	c.entries[id] = e
+	c.pushFront(e)
+	return false
+}
+
+func (c *l4Cache) unlink(e *l4Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *l4Cache) pushFront(e *l4Entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *l4Cache) len() int { return len(c.entries) }

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kloc/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 6 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestDistributionExact(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	if d.Count() != 100 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Min() != 1 || d.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if m := d.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := d.Quantile(0.5); q < 49 || q > 52 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := d.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := d.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Quantile(0.5) != 0 || d.Count() != 0 {
+		t.Fatal("empty distribution not zero")
+	}
+}
+
+func TestDistributionHistogramMode(t *testing.T) {
+	var d Distribution
+	n := exactLimit * 2
+	for i := 0; i < n; i++ {
+		d.Observe(1000) // all samples identical
+	}
+	if d.Count() != uint64(n) {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if m := d.Mean(); m != 1000 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Histogram quantile is a power-of-two lower bound: 512 <= q <= 1024.
+	q := d.Quantile(0.5)
+	if q < 512 || q > 1024 {
+		t.Fatalf("histogram median = %v", q)
+	}
+}
+
+func TestDistributionMeanProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		r := sim.NewRNG(seed)
+		n := int(nRaw)%1000 + 1
+		var d Distribution
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 1e6
+			sum += v
+			d.Observe(v)
+		}
+		return math.Abs(d.Mean()-sum/float64(n)) < 1e-6*sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {0.5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLifetimeTracker(t *testing.T) {
+	lt := NewLifetimeTracker()
+	lt.Born(1, 100)
+	lt.Born(2, 200)
+	lt.Born(3, 300)
+	lt.Died(1, "slab", 150)
+	lt.Died(2, "cache", 1200)
+	if lt.Live() != 1 {
+		t.Fatalf("live = %d", lt.Live())
+	}
+	if m := lt.MeanLifetime("slab"); m != 50 {
+		t.Fatalf("slab mean = %v", m)
+	}
+	if m := lt.MeanLifetime("cache"); m != 1000 {
+		t.Fatalf("cache mean = %v", m)
+	}
+	if m := lt.MeanLifetime("missing"); m != 0 {
+		t.Fatalf("missing class mean = %v", m)
+	}
+	// Death of unknown id is ignored.
+	lt.Died(99, "slab", 500)
+	if lt.Class("slab").Count() != 1 {
+		t.Fatal("unknown id death was recorded")
+	}
+	classes := lt.Classes()
+	if len(classes) != 2 || classes[0] != "cache" || classes[1] != "slab" {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Inc()
+	s.Counter("a").Inc()
+	s.Counter("b").Add(10)
+	if s.Value("a") != 2 || s.Value("b") != 10 || s.Value("zzz") != 0 {
+		t.Fatalf("set values wrong: %s", s)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,366 @@
+// Package netsim simulates the networking stack of the paper's §4.2.3:
+// sockets (which are inodes — everything is a file), skbuff packet
+// headers, packet data buffers, and receive-side driver buffers, with
+// the layered ingress problem the paper highlights: the driver receives
+// packets asynchronously and does not know the owning socket until the
+// TCP layer demultiplexes — unless the KLOC extension extracts the
+// socket in the driver via the 8-byte skbuff field.
+package netsim
+
+import (
+	"fmt"
+
+	"kloc/internal/alloc"
+	"kloc/internal/kobj"
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+// Cost constants for the networking paths.
+const (
+	// syscallEntryCost per socket syscall.
+	syscallEntryCost sim.Duration = 100
+	// nicPerPacket is the fixed NIC processing cost per packet.
+	nicPerPacket sim.Duration = 300
+	// nicBandwidth in bytes/ns (10 GbE = 1.25 B/ns).
+	nicBandwidth = 1.25
+	// driverExtractCost: identifying the socket inside the driver using
+	// the extended skbuff field (cheap — the paper's design).
+	driverExtractCost sim.Duration = 300
+	// tcpDemuxCost: full TCP-stack traversal to find the socket
+	// (the baseline's expensive late association).
+	tcpDemuxCost sim.Duration = 1800
+	// mtu caps per-packet payload bytes.
+	mtu = 1500
+)
+
+// Stats tracks network activity.
+type Stats struct {
+	SocketsCreated, SocketsClosed uint64
+	PacketsTx, PacketsRx          uint64
+	BytesTx, BytesRx              uint64
+	DriverDemux, TCPDemux         uint64
+	Drops                         uint64
+	ObjAllocs                     [16]uint64
+	ObjLive                       [16]int64
+}
+
+// Packet is one in-flight ingress packet.
+type Packet struct {
+	skb, data, rxbuf *kobj.Object
+	size             int
+	demuxed          bool
+}
+
+// Socket is an open socket endpoint.
+type Socket struct {
+	Ino     uint64
+	sockObj *kobj.Object
+	rxQueue []*Packet
+	Open    bool
+}
+
+// QueuedPackets reports the ingress backlog.
+func (s *Socket) QueuedPackets() int { return len(s.rxQueue) }
+
+// Net is the simulated network stack.
+type Net struct {
+	Mem    *memsim.Memory
+	Hooks  kstate.Hooks
+	ObjIDs *kstate.IDGen
+	InoGen *kstate.IDGen
+
+	Pager *alloc.PageAllocator
+	slabs map[kobj.Type]*alloc.SlabCache
+	klocs map[kobj.Type]*alloc.SlabCache
+	// arenas are per-socket KLOC allocation regions (§4.4).
+	arenas map[uint64]*alloc.Arena
+
+	sockets map[uint64]*Socket
+	// rxBacklogLimit drops ingress packets beyond this per-socket
+	// backlog, like a full receive buffer.
+	rxBacklogLimit int
+	// ReclaimFn, when set, is invoked under memory exhaustion to free
+	// page cache (the kernel wires it to fs.Reclaim). Returns pages
+	// freed.
+	ReclaimFn func(ctx *kstate.Ctx, n int) int
+
+	Stats Stats
+}
+
+// New builds the network stack.
+func New(mem *memsim.Memory, hooks kstate.Hooks, objIDs, inoGen *kstate.IDGen) *Net {
+	return &Net{
+		Mem:            mem,
+		Hooks:          hooks,
+		ObjIDs:         objIDs,
+		InoGen:         inoGen,
+		Pager:          &alloc.PageAllocator{Mem: mem},
+		slabs:          make(map[kobj.Type]*alloc.SlabCache),
+		klocs:          make(map[kobj.Type]*alloc.SlabCache),
+		arenas:         make(map[uint64]*alloc.Arena),
+		sockets:        make(map[uint64]*Socket),
+		rxBacklogLimit: 1024,
+	}
+}
+
+func (n *Net) slabFor(t kobj.Type, relocatable bool) *alloc.SlabCache {
+	m := n.slabs
+	if relocatable {
+		m = n.klocs
+	}
+	c := m[t]
+	if c == nil {
+		if relocatable {
+			c = alloc.NewKlocCache(n.Mem, t.String()+"-kloc", t.Info().Size)
+		} else {
+			c = alloc.NewSlabCache(n.Mem, t.String(), t.Info().Size)
+		}
+		m[t] = c
+	}
+	return c
+}
+
+func (n *Net) allocObj(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
+	o, err := n.allocObjOnce(ctx, t, ino)
+	if err == memsim.ErrNoMemory && n.ReclaimFn != nil {
+		if n.ReclaimFn(ctx, 64) > 0 {
+			o, err = n.allocObjOnce(ctx, t, ino)
+		}
+	}
+	return o, err
+}
+
+func (n *Net) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
+	order := n.Hooks.PlaceKernel(ctx, t, ino)
+	id := kobj.ID(n.ObjIDs.Next())
+	var o *kobj.Object
+	if t.Info().Alloc == kobj.AllocSlab {
+		if n.Hooks.UseKlocAllocator(t) && ino != 0 {
+			arena := n.arenas[ino]
+			if arena == nil {
+				arena = alloc.NewArena(n.Mem, 0)
+				n.arenas[ino] = arena
+			}
+			slot, cost, err := arena.Alloc(order, t.Info().Size, ctx.Now)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(cost)
+			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { arena.Free(slot) })
+		} else {
+			cache := n.slabFor(t, n.Hooks.UseKlocAllocator(t))
+			slot, cost, err := cache.Alloc(order, ctx.Now)
+			if err != nil {
+				return nil, err
+			}
+			ctx.Charge(cost)
+			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { cache.Free(slot) })
+		}
+	} else {
+		frame, cost, err := n.Pager.Alloc(order, memsim.ClassCache, ctx.Now)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Charge(cost)
+		o = kobj.NewObject(id, t, frame, ctx.Now, func() { n.Pager.Free(frame) })
+		n.Hooks.PageAllocated(ctx, frame)
+	}
+	n.Stats.ObjAllocs[t]++
+	n.Stats.ObjLive[t]++
+	// Initialization writes the object's memory (tier-sensitive).
+	ctx.Charge(n.Mem.Access(ctx.CPU, o.Frame, o.Size, true, ctx.Now))
+	n.Hooks.ObjectCreated(ctx, ino, o)
+	return o, nil
+}
+
+func (n *Net) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
+	if o == nil {
+		return
+	}
+	n.Stats.ObjLive[o.Type]--
+	n.Hooks.ObjectFreed(ctx, o)
+	if o.Type.Info().Alloc == kobj.AllocPage && o.Frame != nil {
+		n.Hooks.PageFreed(ctx, o.Frame)
+	}
+	o.Release()
+}
+
+func (n *Net) touchObj(ctx *kstate.Ctx, o *kobj.Object, bytes int, write bool) {
+	if o == nil || o.Frame == nil {
+		return
+	}
+	if bytes <= 0 {
+		bytes = o.Size
+	}
+	ctx.Charge(n.Mem.Access(ctx.CPU, o.Frame, bytes, write, ctx.Now))
+}
+
+// Sockets reports open sockets.
+func (n *Net) Sockets() int { return len(n.sockets) }
+
+// Socket returns a socket by inode.
+func (n *Net) Socket(ino uint64) (*Socket, bool) {
+	s, ok := n.sockets[ino]
+	return s, ok
+}
+
+// SocketCreate opens a socket: an inode is born (sockets are files) and
+// the sock object is allocated.
+func (n *Net) SocketCreate(ctx *kstate.Ctx) (*Socket, error) {
+	ctx.Charge(syscallEntryCost)
+	ino := n.InoGen.Next()
+	n.Hooks.InodeCreated(ctx, ino, true)
+	sockObj, err := n.allocObj(ctx, kobj.Sock, ino)
+	if err != nil {
+		return nil, err
+	}
+	s := &Socket{Ino: ino, sockObj: sockObj, Open: true}
+	n.sockets[ino] = s
+	n.Hooks.InodeOpened(ctx, ino)
+	n.Stats.SocketsCreated++
+	return s, nil
+}
+
+// SocketClose tears the socket down: queued packets and the sock object
+// are deallocated and the inode dies.
+func (n *Net) SocketClose(ctx *kstate.Ctx, s *Socket) {
+	if !s.Open {
+		return
+	}
+	ctx.Charge(syscallEntryCost)
+	s.Open = false
+	for _, p := range s.rxQueue {
+		n.freePacket(ctx, p)
+	}
+	s.rxQueue = nil
+	n.freeObj(ctx, s.sockObj)
+	s.sockObj = nil
+	delete(n.sockets, s.Ino)
+	delete(n.arenas, s.Ino) // all objects freed: the arena is empty
+	n.Hooks.InodeClosed(ctx, s.Ino)
+	n.Hooks.InodeDeleted(ctx, s.Ino)
+	n.Stats.SocketsClosed++
+}
+
+func (n *Net) freePacket(ctx *kstate.Ctx, p *Packet) {
+	n.freeObj(ctx, p.skb)
+	n.freeObj(ctx, p.data)
+	n.freeObj(ctx, p.rxbuf)
+}
+
+// Send transmits bytes on the socket: one skbuff + data buffer per MTU
+// segment, copied from userspace, pushed through the NIC, and freed on
+// completion (the short-lived egress population).
+func (n *Net) Send(ctx *kstate.Ctx, s *Socket, bytes int) error {
+	if !s.Open {
+		return fmt.Errorf("netsim: send on closed socket %d", s.Ino)
+	}
+	ctx.Charge(syscallEntryCost)
+	n.touchObj(ctx, s.sockObj, 0, true)
+	for sent := 0; sent < bytes; sent += mtu {
+		seg := bytes - sent
+		if seg > mtu {
+			seg = mtu
+		}
+		skb, err := n.allocObj(ctx, kobj.SkBuff, s.Ino)
+		if err != nil {
+			return err
+		}
+		data, err := n.allocObj(ctx, kobj.SkBuffData, s.Ino)
+		if err != nil {
+			n.freeObj(ctx, skb)
+			return err
+		}
+		n.touchObj(ctx, skb, 0, true)
+		n.touchObj(ctx, data, seg, true) // copy from user
+		ctx.Charge(nicPerPacket + sim.Duration(float64(seg)/nicBandwidth))
+		n.Stats.PacketsTx++
+		n.Stats.BytesTx += uint64(seg)
+		n.freeObj(ctx, skb)
+		n.freeObj(ctx, data)
+	}
+	return nil
+}
+
+// Deliver models asynchronous packet ingress (NAPI): the driver
+// allocates an rx buffer and skbuff for each MTU segment. With driver
+// extraction (the KLOC design) the socket is identified immediately and
+// the objects are associated with its KLOC; otherwise association waits
+// for the TCP layer at Recv time.
+//
+// Deliver runs in softirq context: ctx should be a daemon/interrupt
+// context, not a user operation's.
+func (n *Net) Deliver(ctx *kstate.Ctx, s *Socket, bytes int) error {
+	if !s.Open {
+		n.Stats.Drops++
+		return nil
+	}
+	for recvd := 0; recvd < bytes; recvd += mtu {
+		seg := bytes - recvd
+		if seg > mtu {
+			seg = mtu
+		}
+		if len(s.rxQueue) >= n.rxBacklogLimit {
+			n.Stats.Drops++
+			continue
+		}
+		driverKnows := n.Hooks.DriverSockExtract()
+		ownerIno := uint64(0)
+		if driverKnows {
+			ownerIno = s.Ino
+		}
+		rxbuf, err := n.allocObj(ctx, kobj.RxBuf, ownerIno)
+		if err != nil {
+			return err
+		}
+		skb, err := n.allocObj(ctx, kobj.SkBuff, ownerIno)
+		if err != nil {
+			n.freeObj(ctx, rxbuf)
+			return err
+		}
+		n.touchObj(ctx, rxbuf, seg, true) // DMA landing
+		n.touchObj(ctx, skb, 0, true)
+		p := &Packet{skb: skb, rxbuf: rxbuf, size: seg}
+		if driverKnows {
+			ctx.Charge(driverExtractCost)
+			p.demuxed = true
+			n.Stats.DriverDemux++
+		}
+		s.rxQueue = append(s.rxQueue, p)
+		n.Stats.PacketsRx++
+		n.Stats.BytesRx += uint64(seg)
+	}
+	return nil
+}
+
+// Recv consumes up to maxBytes from the socket's ingress queue,
+// performing late TCP demux (and late KLOC association) for packets the
+// driver could not attribute. Returns bytes received.
+func (n *Net) Recv(ctx *kstate.Ctx, s *Socket, maxBytes int) (int, error) {
+	if !s.Open {
+		return 0, fmt.Errorf("netsim: recv on closed socket %d", s.Ino)
+	}
+	ctx.Charge(syscallEntryCost)
+	n.touchObj(ctx, s.sockObj, 0, false)
+	got := 0
+	for len(s.rxQueue) > 0 && got < maxBytes {
+		p := s.rxQueue[0]
+		s.rxQueue = s.rxQueue[1:]
+		if !p.demuxed {
+			// Walk the TCP stack to find the socket, then associate the
+			// kernel objects with the KLOC (late association).
+			ctx.Charge(tcpDemuxCost)
+			n.Stats.TCPDemux++
+			p.demuxed = true
+			n.Hooks.ObjectAssociated(ctx, s.Ino, p.skb)
+			n.Hooks.ObjectAssociated(ctx, s.Ino, p.rxbuf)
+		}
+		n.touchObj(ctx, p.skb, 0, false)
+		n.touchObj(ctx, p.rxbuf, p.size, false) // copy to user
+		got += p.size
+		n.freePacket(ctx, p)
+	}
+	return got, nil
+}

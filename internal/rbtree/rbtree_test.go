@@ -1,0 +1,242 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kloc/internal/sim"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, string]()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree succeeded")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree reported success")
+	}
+	if d := tr.Depth(); d != 0 {
+		t.Fatalf("empty depth %d", d)
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 100; i++ {
+		if !tr.Set(i, i*10) {
+			t.Fatalf("Set(%d) reported replace", i)
+		}
+	}
+	if tr.Set(50, 999) {
+		t.Fatal("Set of existing key reported insert")
+	}
+	if v, ok := tr.Get(50); !ok || v != 999 {
+		t.Fatalf("Get(50) = %d,%v", v, ok)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if (i%2 == 0) == ok {
+			t.Fatalf("Get(%d) presence = %v", i, ok)
+		}
+	}
+	if msg := tr.Check(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestMinMaxFloorCeil(t *testing.T) {
+	tr := New[int, string]()
+	for _, k := range []int{40, 10, 30, 20} {
+		tr.Set(k, "v")
+	}
+	if k, _, _ := tr.Min(); k != 10 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 40 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Floor(20); !ok || k != 20 {
+		t.Fatalf("Floor(20) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor(5) found something")
+	}
+	if k, _, ok := tr.Ceil(25); !ok || k != 30 {
+		t.Fatalf("Ceil(25) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Ceil(30); !ok || k != 30 {
+		t.Fatalf("Ceil(30) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Ceil(45); ok {
+		t.Fatal("Ceil(45) found something")
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	tr := New[int, int]()
+	r := sim.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		tr.Set(r.Intn(10000), i)
+	}
+	var keys []int
+	tr.Ascend(func(k, _ int) bool { keys = append(keys, k); return true })
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Ascend out of order")
+	}
+	if len(keys) != tr.Len() {
+		t.Fatalf("Ascend visited %d of %d", len(keys), tr.Len())
+	}
+	n := 0
+	tr.Ascend(func(int, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.AscendRange(25, 30, func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{25, 26, 27, 28, 29}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange got %v, want %v", got, want)
+		}
+	}
+	// Early stop inside a range.
+	n := 0
+	tr.AscendRange(0, 100, func(int, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("range early stop visited %d", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 10; i++ {
+		tr.Set(i, i)
+	}
+	tr.Clear()
+	if tr.Len() != 0 || tr.Has(3) {
+		t.Fatal("Clear left entries behind")
+	}
+	tr.Set(1, 1)
+	if tr.Len() != 1 {
+		t.Fatal("tree unusable after Clear")
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	tr := New[int, int]()
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		tr.Set(i, i) // worst case: sorted insertion
+	}
+	// 2*log2(n+1) = 30 for n=16384
+	if d := tr.Depth(); d > 30 {
+		t.Fatalf("depth %d exceeds red-black bound", d)
+	}
+	if msg := tr.Check(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+// TestInvariantsProperty drives random insert/delete mixes and verifies
+// the red-black invariants and model equivalence against a map.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, ops uint16) bool {
+		r := sim.NewRNG(seed)
+		tr := New[int, int]()
+		model := map[int]int{}
+		n := int(ops)%500 + 50
+		for i := 0; i < n; i++ {
+			k := r.Intn(100)
+			if r.Bool(0.6) {
+				tr.Set(k, i)
+				model[k] = i
+			} else {
+				okT := tr.Delete(k)
+				_, okM := model[k]
+				if okT != okM {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tr.Check() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	tr := New[string, int]()
+	tr.Set("b", 2)
+	tr.Set("a", 1)
+	tr.Set("c", 3)
+	keys := tr.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New[int, int]()
+	r := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(r.Intn(1<<20), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int]()
+	r := sim.NewRNG(1)
+	for i := 0; i < 1<<16; i++ {
+		tr.Set(r.Intn(1<<20), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(r.Intn(1 << 20))
+	}
+}

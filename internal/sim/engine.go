@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events fire in (time, sequence) order,
+// which makes simulation runs fully deterministic: ties in virtual time
+// break by scheduling order.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func(*Engine)
+	// index in the heap, or -1 once popped/cancelled.
+	index int
+}
+
+// Cancelled reports whether the event was cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 && e.fn == nil }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; the entire simulation runs on one goroutine, which is
+// what guarantees reproducibility.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have run so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule arranges for fn to run at the given absolute time. Scheduling
+// in the past panics: it indicates a broken cost model.
+func (e *Engine) Schedule(at Time, fn func(*Engine)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func(*Engine)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Halt stops Run/RunUntil after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn(e)
+	return true
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, leaving later events
+// queued. The clock ends at min(deadline, last event time).
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline && !e.halted {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,208 @@
+// Package kloc is a library-grade reproduction of "KLOCs: Kernel-Level
+// Object Contexts for Heterogeneous Memory Systems" (Kannan, Ren,
+// Bhattacharjee — ASPLOS 2021) as a deterministic simulation.
+//
+// The paper's contribution is an OS abstraction that groups the kernel
+// objects (inodes, dentries, journal buffers, page-cache pages, socket
+// buffers, ...) belonging to each file or socket into a "KLOC" anchored
+// on a knode, so that tiered-memory policies can place and migrate them
+// en masse instead of relying on page-table scans that are slower than
+// the objects' lifetimes.
+//
+// This package re-exports the public surface:
+//
+//   - platform construction (two-tier and Optane Memory Mode);
+//   - the simulated kernel (filesystem, network stack, allocators);
+//   - the KLOC registry and the Table-2 API;
+//   - Table-5 tiering policies (Naive, Nimble, Nimble++, KLOCs,
+//     AutoNUMA variants, ideal/worst bounds);
+//   - Table-3 workload models (RocksDB, Redis, Filebench, Cassandra,
+//     Spark);
+//   - the experiment harness that regenerates every table and figure
+//     of the paper's evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	res, err := kloc.Run(kloc.RunConfig{
+//		PolicyName: "klocs",
+//		Workload:   "rocksdb",
+//	})
+//	fmt.Printf("throughput: %.0f ops/s\n", res.Throughput)
+//
+// Everything executes in virtual time on one goroutine; identical
+// seeds produce identical results.
+package kloc
+
+import (
+	"kloc/internal/harness"
+	"kloc/internal/kernel"
+	"kloc/internal/kloc"
+	"kloc/internal/kobj"
+	"kloc/internal/memsim"
+	"kloc/internal/policy"
+	"kloc/internal/sim"
+	"kloc/internal/workload"
+)
+
+// Simulation substrate.
+type (
+	// Time is a virtual-time instant (nanoseconds).
+	Time = sim.Time
+	// Duration is a virtual-time span (nanoseconds).
+	Duration = sim.Duration
+	// Engine is the deterministic discrete-event engine.
+	Engine = sim.Engine
+	// RNG is the deterministic random number generator.
+	RNG = sim.RNG
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns a fresh event engine at time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// Memory platforms (Table 4).
+type (
+	// Memory is the simulated memory system.
+	Memory = memsim.Memory
+	// TwoTierConfig parameterizes the software-managed two-tier
+	// platform.
+	TwoTierConfig = memsim.TwoTierConfig
+	// OptaneConfig parameterizes the Optane Memory-Mode platform.
+	OptaneConfig = memsim.OptaneConfig
+	// Frame is one simulated page frame.
+	Frame = memsim.Frame
+	// NodeID identifies a memory node.
+	NodeID = memsim.NodeID
+)
+
+// NewTwoTier builds the two-tier platform (Table 4, top).
+func NewTwoTier(cfg TwoTierConfig) *Memory { return memsim.NewTwoTier(cfg) }
+
+// NewOptane builds the Memory-Mode platform (Table 4, bottom).
+func NewOptane(cfg OptaneConfig) *Memory { return memsim.NewOptane(cfg) }
+
+// DefaultTwoTier returns the Table-4 two-tier config scaled by
+// 1/scaleDiv.
+func DefaultTwoTier(scaleDiv int) TwoTierConfig { return memsim.DefaultTwoTier(scaleDiv) }
+
+// DefaultOptane returns the Table-4 Optane config scaled by 1/scaleDiv.
+func DefaultOptane(scaleDiv int) OptaneConfig { return memsim.DefaultOptane(scaleDiv) }
+
+// Kernel and KLOC core.
+type (
+	// Kernel is the assembled simulated OS.
+	Kernel = kernel.Kernel
+	// Policy is a tiering strategy plugged into the kernel.
+	Policy = kernel.Policy
+	// Registry is the KLOC state: kmap, knodes, per-CPU fast paths
+	// (the Table-2 API lives here).
+	Registry = kloc.Registry
+	// Knode anchors one KLOC (§4.2).
+	Knode = kloc.Knode
+	// ObjectType enumerates Table 1's kernel-object types.
+	ObjectType = kobj.Type
+	// ObjectGroup buckets types for the Fig 5c sensitivity study.
+	ObjectGroup = kobj.Group
+)
+
+// NewKernel assembles a kernel over a memory platform with a policy.
+func NewKernel(eng *Engine, mem *Memory, pol Policy) *Kernel { return kernel.New(eng, mem, pol) }
+
+// NewRegistry builds a standalone KLOC registry (most users get one
+// implicitly through the KLOCs policy).
+func NewRegistry(mem *Memory, cpus int) *Registry { return kloc.NewRegistry(mem, cpus) }
+
+// ObjectTypes returns Table 1's taxonomy.
+func ObjectTypes() []ObjectType { return kobj.Types() }
+
+// Policies (Table 5).
+type (
+	// KLOCConfig selects a KLOCs policy variant.
+	KLOCConfig = policy.KLOCConfig
+	// KLOCsPolicy is the paper's policy.
+	KLOCsPolicy = policy.KLOCs
+)
+
+// PolicyByName constructs a Table-5 strategy: "naive", "nimble",
+// "nimble++", "klocs", "klocs-nomigration", "all-fast", "all-slow",
+// "autonuma", "nimble-numa", "autonuma+klocs", "all-local",
+// "all-remote".
+func PolicyByName(name string) (Policy, error) { return policy.ByName(name) }
+
+// NewKLOCs builds the KLOCs policy with a custom configuration.
+func NewKLOCs(cfg KLOCConfig) *KLOCsPolicy { return policy.NewKLOCs(cfg) }
+
+// DefaultKLOCConfig is the full paper design.
+func DefaultKLOCConfig() KLOCConfig { return policy.DefaultKLOCConfig() }
+
+// Workloads (Table 3).
+type (
+	// Workload is a Table-3 application model.
+	Workload = workload.Workload
+	// WorkloadConfig scales a workload.
+	WorkloadConfig = workload.Config
+)
+
+// WorkloadByName constructs "rocksdb", "redis", "filebench",
+// "cassandra", or "spark".
+func WorkloadByName(name string, cfg WorkloadConfig) (Workload, error) {
+	return workload.ByName(name, cfg)
+}
+
+// WorkloadNames lists the Table-3 catalog.
+func WorkloadNames() []string { return workload.Names() }
+
+// Experiment harness.
+type (
+	// RunConfig describes one measured simulation run.
+	RunConfig = harness.RunConfig
+	// Result is a run's outcome.
+	Result = harness.Result
+	// Options tunes an experiment batch.
+	Options = harness.Options
+	// Table is a rendered experiment result.
+	Table = harness.Table
+)
+
+// Platform selectors for RunConfig.
+const (
+	TwoTier = harness.TwoTier
+	Optane  = harness.Optane
+)
+
+// Run executes one measured simulation run.
+func Run(cfg RunConfig) (*Result, error) { return harness.Run(cfg) }
+
+// Experiment runs a named paper experiment ("fig2a".."fig6", "table6",
+// "prefetch", "ablations") and returns its table.
+func Experiment(name string, o Options) (*Table, error) {
+	fn, ok := harness.Experiments[name]
+	if !ok {
+		return nil, errUnknownExperiment(name)
+	}
+	return fn(o)
+}
+
+// ExperimentNames lists experiments in presentation order.
+func ExperimentNames() []string { return harness.ExperimentNames() }
+
+// DefaultOptions runs experiments at full fidelity.
+func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// QuickOptions trades fidelity for wall time.
+func QuickOptions() Options { return harness.QuickOptions() }
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "kloc: unknown experiment " + string(e)
+}
