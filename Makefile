@@ -1,0 +1,25 @@
+# Tier-1 verification gate (documented in README.md): every change must
+# keep `make verify` green before merging.
+GO ?= go
+
+.PHONY: verify vet build test race bench eval
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+eval:
+	$(GO) run ./cmd/klocbench -exp all

@@ -19,7 +19,10 @@ var order = []memsim.NodeID{memsim.FastNode, memsim.SlowNode}
 
 func TestSlabPacking(t *testing.T) {
 	m := mem()
-	c := NewSlabCache(m, "dentry", 192)
+	c, err := NewSlabCache(m, "dentry", 192)
+	if err != nil {
+		t.Fatal(err)
+	}
 	per := c.ObjectsPerFrame()
 	if per != memsim.PageSize/192 {
 		t.Fatalf("objects per frame = %d", per)
@@ -56,7 +59,7 @@ func TestSlabPacking(t *testing.T) {
 }
 
 func TestSlabFramesArePinned(t *testing.T) {
-	c := NewSlabCache(mem(), "inode", 600)
+	c, _ := NewSlabCache(mem(), "inode", 600)
 	s, _, _ := c.Alloc(order, 0)
 	if !s.Frame.Pinned {
 		t.Fatal("slab frame not pinned")
@@ -68,7 +71,7 @@ func TestSlabFramesArePinned(t *testing.T) {
 
 func TestKlocCacheRelocatable(t *testing.T) {
 	m := mem()
-	c := NewKlocCache(m, "inode-kloc", 600)
+	c, _ := NewKlocCache(m, "inode-kloc", 600)
 	s, cost, _ := c.Alloc(order, 0)
 	if s.Frame.Pinned {
 		t.Fatal("KLOC allocator must produce relocatable frames")
@@ -92,7 +95,7 @@ func TestSlabCostOrdering(t *testing.T) {
 }
 
 func TestSlabDoubleFree(t *testing.T) {
-	c := NewSlabCache(mem(), "x", 1024)
+	c, _ := NewSlabCache(mem(), "x", 1024)
 	s, _, _ := c.Alloc(order, 0)
 	if c.Free(s) == 0 {
 		t.Fatal("first free had no cost")
@@ -106,7 +109,7 @@ func TestSlabDoubleFree(t *testing.T) {
 }
 
 func TestSlabPartialReuse(t *testing.T) {
-	c := NewSlabCache(mem(), "x", 2048) // 2 per frame
+	c, _ := NewSlabCache(mem(), "x", 2048) // 2 per frame
 	a, _, _ := c.Alloc(order, 0)
 	b, _, _ := c.Alloc(order, 0)
 	if a.Frame.ID != b.Frame.ID {
@@ -120,7 +123,7 @@ func TestSlabPartialReuse(t *testing.T) {
 }
 
 func TestSlabFullObjectPerFrame(t *testing.T) {
-	c := NewSlabCache(mem(), "page-sized", memsim.PageSize)
+	c, _ := NewSlabCache(mem(), "page-sized", memsim.PageSize)
 	if c.ObjectsPerFrame() != 1 {
 		t.Fatalf("page-sized slab packs %d", c.ObjectsPerFrame())
 	}
@@ -133,7 +136,7 @@ func TestSlabFullObjectPerFrame(t *testing.T) {
 
 func TestSlabExhaustion(t *testing.T) {
 	m := memsim.NewTwoTier(memsim.TwoTierConfig{FastPages: 1, SlowPages: 1, FastBandwidth: 30, CPUs: 1})
-	c := NewSlabCache(m, "x", memsim.PageSize)
+	c, _ := NewSlabCache(m, "x", memsim.PageSize)
 	if _, _, err := c.Alloc(order, 0); err != nil {
 		t.Fatal(err)
 	}

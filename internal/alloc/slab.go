@@ -17,6 +17,9 @@
 package alloc
 
 import (
+	"fmt"
+
+	"kloc/internal/fault"
 	"kloc/internal/memsim"
 	"kloc/internal/sim"
 )
@@ -71,21 +74,22 @@ type SlabCache struct {
 }
 
 // NewSlabCache returns a classic (pinned) slab cache for objects of the
-// given size.
-func NewSlabCache(mem *memsim.Memory, name string, objSize int) *SlabCache {
+// given size. Object sizes outside (0, PageSize] yield EINVAL.
+func NewSlabCache(mem *memsim.Memory, name string, objSize int) (*SlabCache, error) {
 	return newCache(mem, name, objSize, memsim.ClassSlab, true, SlabAllocCost, SlabFreeCost)
 }
 
 // NewKlocCache returns the paper's KLOC allocation interface: same
 // packing discipline, but frames are relocatable (anonymous-VMA-backed)
-// and the per-object cost is slightly higher than slab.
-func NewKlocCache(mem *memsim.Memory, name string, objSize int) *SlabCache {
+// and the per-object cost is slightly higher than slab. Object sizes
+// outside (0, PageSize] yield EINVAL.
+func NewKlocCache(mem *memsim.Memory, name string, objSize int) (*SlabCache, error) {
 	return newCache(mem, name, objSize, memsim.ClassKloc, false, KlocAllocCost, KlocFreeCost)
 }
 
-func newCache(mem *memsim.Memory, name string, objSize int, class memsim.Class, pinned bool, ac, fc sim.Duration) *SlabCache {
+func newCache(mem *memsim.Memory, name string, objSize int, class memsim.Class, pinned bool, ac, fc sim.Duration) (*SlabCache, error) {
 	if objSize <= 0 || objSize > memsim.PageSize {
-		panic("alloc: object size out of range")
+		return nil, fmt.Errorf("alloc: cache %q object size %d out of range: %w", name, objSize, fault.EINVAL)
 	}
 	per := memsim.PageSize / objSize
 	if per < 1 {
@@ -96,7 +100,7 @@ func newCache(mem *memsim.Memory, name string, objSize int, class memsim.Class, 
 		AllocCost: ac, FreeCost: fc,
 		perFrame: per,
 		byFrame:  make(map[memsim.FrameID]*slabFrame),
-	}
+	}, nil
 }
 
 // ObjectsPerFrame reports the packing density.

@@ -9,6 +9,7 @@
 package blockdev
 
 import (
+	"kloc/internal/fault"
 	"kloc/internal/sim"
 )
 
@@ -28,6 +29,11 @@ type Device struct {
 	// Channels is the internal parallelism (queue pairs); 0 means 1.
 	Channels int
 
+	// Fault, when non-nil, is consulted per command; an injected EIO
+	// fails the command after it occupied the channel (the device did
+	// the work and then reported failure, like a real media error).
+	Fault *fault.Plane
+
 	// busyUntil per channel: new commands start no earlier.
 	busyUntil []sim.Time
 
@@ -35,6 +41,8 @@ type Device struct {
 	Commands     uint64
 	BytesRead    uint64
 	BytesWritten uint64
+	// IOErrors counts commands the device failed.
+	IOErrors uint64
 }
 
 // DefaultNVMe mirrors Table 4's 512 GB NVMe.
@@ -72,9 +80,11 @@ func (d *Device) TransferCost(bytes int, sequential bool) sim.Duration {
 }
 
 // Submit issues a command at virtual time now and returns the latency
-// until completion (queueing + service). The command lands on the
-// least-busy channel.
-func (d *Device) Submit(now sim.Time, bytes int, sequential, write bool) sim.Duration {
+// until completion (queueing + service) plus a device error, if any.
+// The command lands on the least-busy channel; a failed command still
+// occupies the channel for its full service time (the device worked,
+// then reported EIO), but its bytes do not count as transferred.
+func (d *Device) Submit(now sim.Time, bytes int, sequential, write bool) (sim.Duration, error) {
 	if d.busyUntil == nil {
 		n := d.Channels
 		if n < 1 {
@@ -96,12 +106,16 @@ func (d *Device) Submit(now sim.Time, bytes int, sequential, write bool) sim.Dur
 	complete := start.Add(service)
 	d.busyUntil[best] = complete
 	d.Commands++
+	if e := d.Fault.Check(fault.BlockIO, now); e != 0 {
+		d.IOErrors++
+		return complete.Sub(now), e
+	}
 	if write {
 		d.BytesWritten += uint64(bytes)
 	} else {
 		d.BytesRead += uint64(bytes)
 	}
-	return complete.Sub(now)
+	return complete.Sub(now), nil
 }
 
 // BusyUntil exposes the furthest channel horizon (tests and tracing).
@@ -128,7 +142,21 @@ type MQ struct {
 
 	// PerQueue counts dispatched requests by queue.
 	PerQueue []uint64
+	// Retries counts device-failed commands that were re-driven.
+	Retries uint64
+	// HardFailures counts requests that exhausted their retry budget
+	// and surfaced EIO to the filesystem.
+	HardFailures uint64
 }
+
+// blk_mq error handling: a device EIO is treated as transient and the
+// request is re-driven up to ioMaxRetries times with doubling backoff,
+// mirroring the kernel's SCSI/NVMe requeue path. Only after the budget
+// is exhausted does EIO surface to the caller.
+const (
+	ioMaxRetries                = 3
+	ioRetryBackoff sim.Duration = 10 * sim.Microsecond
+)
 
 // NewMQ builds the multi-queue layer.
 func NewMQ(dev *Device, queues int) *MQ {
@@ -144,14 +172,33 @@ func NewMQ(dev *Device, queues int) *MQ {
 }
 
 // Submit dispatches a request from the given CPU and returns total
-// latency (dispatch + queueing + device service).
-func (mq *MQ) Submit(cpu int, now sim.Time, bytes int, sequential, write bool) sim.Duration {
+// latency (dispatch + queueing + device service, including any retry
+// attempts and backoff). A transient device EIO is retried up to
+// ioMaxRetries times with doubling backoff; if every attempt fails the
+// accumulated latency and EIO are returned together.
+func (mq *MQ) Submit(cpu int, now sim.Time, bytes int, sequential, write bool) (sim.Duration, error) {
 	q := 0
 	if mq.Queues > 0 {
 		q = cpu % mq.Queues
 	}
 	mq.PerQueue[q]++
-	return mq.DispatchCost + mq.Dev.Submit(now.Add(mq.DispatchCost), bytes, sequential, write)
+	var total sim.Duration
+	backoff := ioRetryBackoff
+	for attempt := 0; ; attempt++ {
+		total += mq.DispatchCost
+		lat, err := mq.Dev.Submit(now.Add(total), bytes, sequential, write)
+		total += lat
+		if err == nil {
+			return total, nil
+		}
+		if attempt >= ioMaxRetries {
+			mq.HardFailures++
+			return total, err
+		}
+		mq.Retries++
+		total += backoff
+		backoff *= 2
+	}
 }
 
 // Requests reports total dispatched requests.

@@ -21,9 +21,9 @@ func TestTransferCostSeqVsRand(t *testing.T) {
 
 func TestSubmitQueueing(t *testing.T) {
 	d := DefaultNVMe()
-	l1 := d.Submit(0, 4096, true, false)
+	l1, _ := d.Submit(0, 4096, true, false)
 	// Second command at the same instant queues behind the first.
-	l2 := d.Submit(0, 4096, true, false)
+	l2, _ := d.Submit(0, 4096, true, false)
 	if l2 <= l1 {
 		t.Fatalf("queued command latency %v not greater than first %v", l2, l1)
 	}
@@ -31,7 +31,7 @@ func TestSubmitQueueing(t *testing.T) {
 		t.Fatalf("commands = %d", d.Commands)
 	}
 	// A command far in the future sees an idle device again.
-	l3 := d.Submit(d.BusyUntil().Add(sim.Second), 4096, true, false)
+	l3, _ := d.Submit(d.BusyUntil().Add(sim.Second), 4096, true, false)
 	if l3 != l1 {
 		t.Fatalf("idle-device latency %v, want %v", l3, l1)
 	}
@@ -63,7 +63,7 @@ func TestMQAddsDispatchCost(t *testing.T) {
 	d := DefaultNVMe()
 	raw := d.TransferCost(4096, true)
 	mq := NewMQ(DefaultNVMe(), 1)
-	total := mq.Submit(0, 0, 4096, true, false)
+	total, _ := mq.Submit(0, 0, 4096, true, false)
 	if total != raw+mq.DispatchCost {
 		t.Fatalf("total %v, want %v", total, raw+mq.DispatchCost)
 	}

@@ -34,7 +34,7 @@ func (f *FS) Write(ctx *kstate.Ctx, file *File, pageIdx int64) error {
 		if _, err := f.extentFor(ctx, ind, pageIdx); err != nil {
 			return err
 		}
-		if err := f.journalRecord(ctx, ind.Ino); err != nil {
+		if err := f.journalRecord(ctx, journalOp{kind: opBlock, ino: ind.Ino, idx: pageIdx}); err != nil {
 			return err
 		}
 		if pageIdx >= ind.SizePages {
@@ -115,9 +115,18 @@ func (f *FS) fillPage(ctx *kstate.Ctx, ind *Inode, pageIdx int64, demand, viaKno
 		return nil, err
 	}
 	sequential := pageIdx == ind.lastRead+1
-	lat := f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, sequential, false)
+	lat, err := f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, sequential, false)
 	if demand {
 		ctx.Charge(lat)
+	}
+	if err != nil {
+		// Hard read failure: unwind the page insertion — the cache must
+		// not serve a page whose fill never completed.
+		ind.pages.Delete(pageIdx)
+		delete(ind.frameIndex, obj.Frame.ID)
+		delete(f.frameOwner, obj.Frame.ID)
+		f.freeObj(ctx, obj)
+		return nil, err
 	}
 	if pageIdx >= ind.SizePages {
 		ind.SizePages = pageIdx + 1
@@ -189,6 +198,7 @@ func (f *FS) writebackInode(ctx *kstate.Ctx, ind *Inode) error {
 	// caller waits for the slowest completion, so the charge is the MAX
 	// completion latency, not the sum.
 	var wait sim.Duration
+	var firstErr error
 	runStart := 0
 	for i := 1; i <= len(dirty); i++ {
 		endOfRun := i == len(dirty) ||
@@ -207,14 +217,23 @@ func (f *FS) writebackInode(ctx *kstate.Ctx, ind *Inode) error {
 		}
 		f.touchObj(ctx, bio, 0, true)
 		bytes := len(run) * memsim.PageSize
-		if lat := f.MQ.Submit(ctx.CPU, ctx.Now, bytes, len(run) > 1, true); lat > wait {
+		lat, err := f.MQ.Submit(ctx.CPU, ctx.Now, bytes, len(run) > 1, true)
+		if lat > wait {
 			wait = lat
 		}
-		for _, p := range run {
-			// Reading the page for the DMA copy.
-			f.touchObj(ctx, p.Obj, memsim.PageSize, false)
-			p.Dirty = false
-			f.Stats.WritebackPages++
+		if err != nil {
+			// Hard write failure: the run's pages stay dirty for a later
+			// writeback attempt; surface the first error after all runs.
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			for _, p := range run {
+				// Reading the page for the DMA copy.
+				f.touchObj(ctx, p.Obj, memsim.PageSize, false)
+				p.Dirty = false
+				f.Stats.WritebackPages++
+			}
 		}
 		// bio and blk_mq request die at completion: the short-lifetime
 		// population of Fig 2d.
@@ -223,7 +242,7 @@ func (f *FS) writebackInode(ctx *kstate.Ctx, ind *Inode) error {
 		runStart = i
 	}
 	ctx.Charge(wait)
-	return nil
+	return firstErr
 }
 
 // EvictFrame drops the page-cache page backed by the given frame
@@ -248,7 +267,12 @@ func (f *FS) EvictFrame(ctx *kstate.Ctx, frame *memsim.Frame) bool {
 		return false
 	}
 	if p.Dirty {
-		ctx.Charge(f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, false, true))
+		lat, err := f.MQ.Submit(ctx.CPU, ctx.Now, memsim.PageSize, false, true)
+		ctx.Charge(lat)
+		if err != nil {
+			// Writeback failed: the dirty page must not be dropped.
+			return false
+		}
 		f.Stats.WritebackPages++
 	}
 	ind.pages.Delete(idx)

@@ -45,6 +45,9 @@ type Stats struct {
 	ReadaheadIssued, ReadaheadHits  uint64
 	WritebackPages                  uint64
 	JournalCommits                  uint64
+	JournalCommitFails              uint64
+	Crashes                         uint64
+	ReplayedInodes                  uint64
 	ReclaimedPages                  uint64
 	// ObjAllocs counts kernel-object allocations by type (Fig 2a).
 	ObjAllocs [16]uint64
@@ -84,9 +87,15 @@ type FS struct {
 	// KlocAwareReadahead extends readahead to the inode's kernel
 	// objects (§4.4 "Making KLOCs amenable to I/O prefetching").
 	KlocAwareReadahead bool
+	// JournalMaxPending bounds the in-memory journal before a forced
+	// commit; 0 means DefaultJournalMaxPending.
+	JournalMaxPending int
 
-	journalPending []*kobj.Object
-	reclaiming     bool
+	journalPending []journalOp
+	// durable is the committed metadata image — what a crash preserves
+	// and Replay rebuilds.
+	durable    map[uint64]*durableInode
+	reclaiming bool
 
 	Stats Stats
 }
@@ -106,26 +115,31 @@ func New(mem *memsim.Memory, mq *blockdev.MQ, hooks kstate.Hooks, objIDs, inoGen
 		inodes:          make(map[uint64]*Inode),
 		dcache:          make(map[string]uint64),
 		frameOwner:      make(map[memsim.FrameID]uint64),
+		durable:         make(map[uint64]*durableInode),
 		ReadaheadWindow: 8,
 	}
 	return f
 }
 
-func (f *FS) slabFor(t kobj.Type, relocatable bool) *alloc.SlabCache {
+func (f *FS) slabFor(t kobj.Type, relocatable bool) (*alloc.SlabCache, error) {
 	m := f.slabs
 	if relocatable {
 		m = f.klocs
 	}
 	c := m[t]
 	if c == nil {
+		var err error
 		if relocatable {
-			c = alloc.NewKlocCache(f.Mem, t.String()+"-kloc", t.Info().Size)
+			c, err = alloc.NewKlocCache(f.Mem, t.String()+"-kloc", t.Info().Size)
 		} else {
-			c = alloc.NewSlabCache(f.Mem, t.String(), t.Info().Size)
+			c, err = alloc.NewSlabCache(f.Mem, t.String(), t.Info().Size)
+		}
+		if err != nil {
+			return nil, err
 		}
 		m[t] = c
 	}
-	return c
+	return c, nil
 }
 
 // allocObj allocates a kernel object of type t for inode ino through
@@ -161,7 +175,10 @@ func (f *FS) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Objec
 			ctx.Charge(cost)
 			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { arena.Free(slot) })
 		} else {
-			cache := f.slabFor(t, f.Hooks.UseKlocAllocator(t))
+			cache, err := f.slabFor(t, f.Hooks.UseKlocAllocator(t))
+			if err != nil {
+				return nil, err
+			}
 			slot, cost, err := cache.Alloc(order, ctx.Now)
 			if err != nil {
 				return nil, err

@@ -235,13 +235,13 @@ func TestJournalAutoCommitAtLimit(t *testing.T) {
 	f, _ := newFS(t, nil)
 	ctx := ctxAt(0)
 	file, _ := f.Create(ctx, "/j")
-	for i := int64(0); i < int64(journalMaxPending)+10; i++ {
+	for i := int64(0); i < int64(DefaultJournalMaxPending)+10; i++ {
 		f.Write(ctx, file, i)
 	}
 	if f.Stats.JournalCommits == 0 {
 		t.Fatal("journal never force-committed")
 	}
-	if f.JournalPending() >= journalMaxPending {
+	if f.JournalPending() >= DefaultJournalMaxPending {
 		t.Fatalf("pending = %d", f.JournalPending())
 	}
 }

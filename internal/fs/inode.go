@@ -1,6 +1,8 @@
 package fs
 
 import (
+	"sort"
+
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
@@ -46,6 +48,18 @@ type Inode struct {
 	SizePages int64
 }
 
+// newInode builds an empty in-memory inode (no kernel objects yet).
+func newInode(ino uint64, path string) *Inode {
+	return &Inode{
+		Ino: ino, Path: path, Nlink: 1,
+		pages:      rbtree.New[int64, *Page](),
+		radixNodes: make(map[int64]*kobj.Object),
+		extents:    rbtree.New[int64, *kobj.Object](),
+		frameIndex: make(map[memsim.FrameID]int64),
+		lastRead:   -2,
+	}
+}
+
 // Open file handle.
 type File struct {
 	Inode *Inode
@@ -54,6 +68,9 @@ type File struct {
 
 // CachedPages reports the inode's page-cache population.
 func (ind *Inode) CachedPages() int { return ind.pages.Len() }
+
+// Extents reports the inode's extent-mapping count (tests).
+func (ind *Inode) Extents() int { return ind.extents.Len() }
 
 // Objects returns all kernel objects currently attached to the inode
 // (for accounting and tests).
@@ -82,14 +99,7 @@ func (f *FS) Create(ctx *kstate.Ctx, path string) (*File, error) {
 		return f.openInode(ctx, ind), nil
 	}
 	ino := f.InoGen.Next()
-	ind := &Inode{
-		Ino: ino, Path: path, Nlink: 1,
-		pages:      rbtree.New[int64, *Page](),
-		radixNodes: make(map[int64]*kobj.Object),
-		extents:    rbtree.New[int64, *kobj.Object](),
-		frameIndex: make(map[memsim.FrameID]int64),
-		lastRead:   -2,
-	}
+	ind := newInode(ino, path)
 	f.inodes[ino] = ind
 	f.inodeOrder = append(f.inodeOrder, ino)
 	f.dcache[path] = ino
@@ -104,7 +114,7 @@ func (f *FS) Create(ctx *kstate.Ctx, path string) (*File, error) {
 	}
 	f.touchObj(ctx, ind.inodeObj, 0, true)
 	f.touchObj(ctx, ind.dentry, 0, true)
-	if err := f.journalRecord(ctx, ino); err != nil {
+	if err := f.journalRecord(ctx, journalOp{kind: opCreate, ino: ino, path: path}); err != nil {
 		return nil, err
 	}
 	f.Stats.Creates++
@@ -188,7 +198,7 @@ func (f *FS) Unlink(ctx *kstate.Ctx, path string) error {
 		// Fully unlinked: unreachable by path even while held open.
 		ind.Path = ""
 	}
-	if err := f.journalRecord(ctx, ino); err != nil {
+	if err := f.journalRecord(ctx, journalOp{kind: opUnlink, ino: ino}); err != nil {
 		return err
 	}
 	f.Stats.Unlinks++
@@ -206,8 +216,16 @@ func (f *FS) destroyInode(ctx *kstate.Ctx, ind *Inode) {
 		return true
 	})
 	ind.pages.Clear()
-	for idx, o := range ind.radixNodes {
-		f.freeObj(ctx, o)
+	// Free radix interior nodes in slot order: slab free order decides
+	// partial-list state and hence where future allocations land, so
+	// map-iteration order here would leak into simulation state.
+	slots := make([]int64, 0, len(ind.radixNodes))
+	for idx := range ind.radixNodes {
+		slots = append(slots, idx)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, idx := range slots {
+		f.freeObj(ctx, ind.radixNodes[idx])
 		delete(ind.radixNodes, idx)
 	}
 	ind.extents.Ascend(func(_ int64, o *kobj.Object) bool {

@@ -32,7 +32,7 @@ func (f *FS) Rename(ctx *kstate.Ctx, oldPath, newPath string) error {
 	f.dcache[newPath] = ino
 	f.touchObj(ctx, ind.dentry, 0, true)
 	f.Stats.Renames++
-	return f.journalRecord(ctx, ino)
+	return f.journalRecord(ctx, journalOp{kind: opRename, ino: ino, path: newPath})
 }
 
 // Truncate shrinks (or logically grows) a file to sizePages. Shrinking
@@ -49,7 +49,7 @@ func (f *FS) Truncate(ctx *kstate.Ctx, file *File, sizePages int64) error {
 		// Logical extension: just metadata.
 		ind.SizePages = sizePages
 		f.touchObj(ctx, ind.inodeObj, 0, true)
-		return f.journalRecord(ctx, ind.Ino)
+		return f.journalRecord(ctx, journalOp{kind: opTruncate, ino: ind.Ino, idx: sizePages})
 	}
 	// Collect victims beyond the new size.
 	var victims []*Page
@@ -79,5 +79,5 @@ func (f *FS) Truncate(ctx *kstate.Ctx, file *File, sizePages int64) error {
 	ind.SizePages = sizePages
 	f.touchObj(ctx, ind.inodeObj, 0, true)
 	f.Stats.Truncates++
-	return f.journalRecord(ctx, ind.Ino)
+	return f.journalRecord(ctx, journalOp{kind: opTruncate, ino: ind.Ino, idx: sizePages})
 }

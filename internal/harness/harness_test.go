@@ -48,6 +48,34 @@ func TestRunUnknownNamesFail(t *testing.T) {
 	}
 }
 
+// TestRunDeterminismAtScale re-runs redis+klocs at the experiment
+// scale (ScaleDiv 64, 60 ms). The longer window drives enough
+// checkpoint unlink churn to catch map-iteration-order leaks in the
+// inode teardown path that the small quickRun configuration never
+// reaches (regression: destroyInode used to free radix nodes in map
+// order, perturbing slab state).
+func TestRunDeterminismAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RunConfig{
+		PolicyName: "klocs", Workload: "redis",
+		ScaleDiv: 64, Duration: 60 * sim.Millisecond,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops || a.VirtualTime != b.VirtualTime || a.Mem.MigratedPages != b.Mem.MigratedPages {
+		t.Fatalf("nondeterministic at scale: ops %d/%d vt %v/%v migr %d/%d",
+			a.Ops, b.Ops, a.VirtualTime, b.VirtualTime, a.Mem.MigratedPages, b.Mem.MigratedPages)
+	}
+}
+
 func TestRunDeterminism(t *testing.T) {
 	cfg := quickRun(RunConfig{PolicyName: "klocs", Workload: "redis"})
 	a, err := Run(cfg)

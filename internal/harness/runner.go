@@ -6,6 +6,7 @@ package harness
 import (
 	"fmt"
 
+	"kloc/internal/fault"
 	"kloc/internal/fs"
 	"kloc/internal/kernel"
 	"kloc/internal/memsim"
@@ -63,6 +64,12 @@ type RunConfig struct {
 	// Warmup runs the workload (and daemons) before measurement begins
 	// so policies are judged at steady state. Default Duration/2.
 	Warmup sim.Duration
+
+	// Fault arms a deterministic fault-injection plane for the run.
+	// The plane attaches after workload setup, so setup is never
+	// perturbed and a rate-0 plane leaves the run bit-identical to an
+	// unfaulted one. Nil runs without injection.
+	Fault *fault.Config
 }
 
 // Result is one run's outcome.
@@ -104,6 +111,19 @@ type Result struct {
 	DevBusy sim.Duration
 	// OpCost summarizes per-operation virtual costs.
 	OpCost metrics.Distribution
+
+	// Fault-injection outcomes (zero when no plane was armed).
+	// FaultsInjected is the plane's total injection count; FaultTrace
+	// is its deterministic, replayable record (one line per injection).
+	FaultsInjected uint64
+	FaultTrace     string
+	// DegradedOps counts workload steps that absorbed an errno-style
+	// failure and continued instead of aborting the run.
+	DegradedOps uint64
+	// IORetries / IOHardFailures are the block layer's re-drive and
+	// retry-budget-exhaustion counts.
+	IORetries      uint64
+	IOHardFailures uint64
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -182,6 +202,14 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	setupEnd := eng.Now()
 	start := setupEnd.Add(cfg.Warmup)
+	// Arm the fault plane only now: setup ran clean, and the plane's
+	// per-point RNG streams start from the configured seed regardless of
+	// how long setup took, so traces are comparable across policies.
+	var plane *fault.Plane
+	if cfg.Fault != nil {
+		plane = fault.NewPlane(*cfg.Fault)
+		k.InjectFaults(plane)
+	}
 	k.Start()
 
 	threads := wl.Threads()
@@ -196,6 +224,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	var done, globalOps int
+	var degradedOps uint64
 	var stepErr error
 	var opCosts metrics.Distribution
 	var base statSnapshot
@@ -223,9 +252,16 @@ func Run(cfg RunConfig) (*Result, error) {
 			}
 			ctx := k.NewCtx(t)
 			if err := wl.Step(k, ctx, t, rng); err != nil {
-				stepErr = fmt.Errorf("harness: %s thread %d: %w", wl.Name(), t, err)
-				finish(e)
-				return
+				if plane != nil && fault.IsErrno(err) {
+					// Graceful degradation: an injected (or induced)
+					// errno fails this operation, not the run. The op
+					// still pays the virtual time it consumed.
+					degradedOps++
+				} else {
+					stepErr = fmt.Errorf("harness: %s thread %d: %w", wl.Name(), t, err)
+					finish(e)
+					return
+				}
 			}
 			cost := ctx.Cost
 			if cost < 100 {
@@ -249,6 +285,13 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	res := collect(cfg, k, pol, wl, globalOps, start, base)
 	res.OpCost = opCosts
+	res.DegradedOps = degradedOps
+	if plane != nil {
+		res.FaultsInjected = plane.Injected()
+		res.FaultTrace = plane.TraceString()
+	}
+	res.IORetries = k.FS.MQ.Retries
+	res.IOHardFailures = k.FS.MQ.HardFailures
 	return res, nil
 }
 

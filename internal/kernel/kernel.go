@@ -6,6 +6,7 @@ package kernel
 
 import (
 	"kloc/internal/blockdev"
+	"kloc/internal/fault"
 	"kloc/internal/fs"
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
@@ -83,6 +84,18 @@ func New(eng *sim.Engine, mem *memsim.Memory, pol Policy) *Kernel {
 	pol.Attach(k)
 	return k
 }
+
+// InjectFaults arms a fault-injection plane across every subsystem:
+// the memory system (allocation + migration points), the storage
+// device (blockdev.io), and — because netsim consults the plane
+// through the shared Memory — packet ingress. Passing nil disarms.
+func (k *Kernel) InjectFaults(p *fault.Plane) {
+	k.Mem.Fault = p
+	k.FS.MQ.Dev.Fault = p
+}
+
+// FaultPlane returns the armed plane, if any.
+func (k *Kernel) FaultPlane() *fault.Plane { return k.Mem.Fault }
 
 // Start launches the policy daemon on the engine.
 func (k *Kernel) Start() {

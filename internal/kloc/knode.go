@@ -14,6 +14,7 @@ package kloc
 
 import (
 	"kloc/internal/alloc"
+	"kloc/internal/fault"
 	"kloc/internal/kobj"
 	"kloc/internal/memsim"
 	"kloc/internal/percpu"
@@ -201,8 +202,13 @@ const perCPUListCap = 64
 // slab cache placed on the given fallback order — the paper always
 // allocates knodes to fast memory (§4.2.2).
 func NewRegistry(mem *memsim.Memory, cpus int) *Registry {
-	slab := alloc.NewSlabCache(mem, "knode", knodeStructBytes)
-	slab.Class = memsim.ClassMeta
+	// knodeStructBytes is a compile-time-known valid size, so the only
+	// failure is programmer error; a nil slab makes MapKnode return
+	// EINVAL and the policy degrade to untracked inodes.
+	slab, err := alloc.NewSlabCache(mem, "knode", knodeStructBytes)
+	if err == nil {
+		slab.Class = memsim.ClassMeta
+	}
 	return &Registry{
 		kmap:            rbtree.New[uint64, *Knode](),
 		byID:            make(map[KnodeID]*Knode),
@@ -226,6 +232,9 @@ func (r *Registry) MapKnode(inode uint64, allocOrder []memsim.NodeID, now sim.Ti
 		kn.Age = 0
 		kn.LastTouch = now
 		return kn, lookupCost(r.kmap.Depth()), nil
+	}
+	if r.slab == nil {
+		return nil, 0, fault.EINVAL
 	}
 	slot, cost, err := r.slab.Alloc(allocOrder, now)
 	if err != nil {

@@ -14,8 +14,7 @@ package memsim
 import (
 	"sort"
 
-	"fmt"
-
+	"kloc/internal/fault"
 	"kloc/internal/sim"
 )
 
@@ -152,6 +151,10 @@ type Stats struct {
 	Promotions uint64
 	// MigratedPages counts every page move.
 	MigratedPages uint64
+	// AllocFaults / MigrationFaults count injected failures from the
+	// fault plane (zero when no plane is armed).
+	AllocFaults     uint64
+	MigrationFaults uint64
 	// L4Hits/L4Misses count Memory-Mode DRAM cache behaviour.
 	L4Hits, L4Misses uint64
 	// RefsByNode counts references served by each node (placement
@@ -170,6 +173,10 @@ type Memory struct {
 	// RemoteBandwidthFactor scales bandwidth for cross-socket accesses
 	// (QPI/UPI is narrower than the local memory bus).
 	RemoteBandwidthFactor float64
+
+	// Fault, when non-nil, is consulted on every allocation and every
+	// batched migration. A nil plane injects nothing.
+	Fault *fault.Plane
 
 	// l4 caches, indexed by socket; nil entries mean no cache.
 	l4 []*l4Cache
@@ -231,8 +238,22 @@ func (m *Memory) SocketOf(cpu int) int {
 // NumCPUs reports the number of logical CPUs.
 func (m *Memory) NumCPUs() int { return len(m.CPUSocket) }
 
-// ErrNoMemory is returned when a node has no free pages.
-var ErrNoMemory = fmt.Errorf("memsim: node full")
+// ErrNoMemory is returned when a node has no free pages. It is the
+// fault plane's ENOMEM errno, so injected exhaustion and genuine
+// exhaustion take the same recovery paths (reclaim, node fallback).
+var ErrNoMemory error = fault.ENOMEM
+
+// faultPointFor maps an allocation class to its fault point: slab-like
+// (pinned/relocatable kernel-object and metadata) frames vs app and
+// page-cache frames.
+func faultPointFor(class Class) fault.Point {
+	switch class {
+	case ClassSlab, ClassKloc, ClassMeta:
+		return fault.AllocSlab
+	default:
+		return fault.AllocPage
+	}
+}
 
 // Alloc allocates one base-order frame on the given node for the given
 // class.
@@ -246,6 +267,13 @@ func (m *Memory) AllocOrder(node NodeID, class Class, order uint8, now sim.Time)
 	pages := 1 << order
 	if n.used+pages > n.Capacity {
 		return nil, ErrNoMemory
+	}
+	// Injected exhaustion: the node claims to be full even though it has
+	// room. Per-node injection means AllocFallback naturally falls
+	// through to the next node in the placement order.
+	if e := m.Fault.Check(faultPointFor(class), now); e != 0 {
+		m.Stats.AllocFaults++
+		return nil, e
 	}
 	n.used += pages
 	f := &Frame{
@@ -383,11 +411,13 @@ func (m *Memory) CanMigrate(f *Frame, dst NodeID) bool {
 }
 
 // MoveFrame relocates a single frame to dst, updating occupancy and
-// stats, and returns the copy cost (before parallelism scaling).
-// It panics if the move is invalid; use CanMigrate first.
-func (m *Memory) MoveFrame(f *Frame, dst NodeID, fixed sim.Duration) sim.Duration {
+// stats, and returns the copy cost (before parallelism scaling). An
+// invalid move (pinned frame, same node, destination full) returns
+// EBUSY and leaves the frame where it is; callers retry on a later
+// tick.
+func (m *Memory) MoveFrame(f *Frame, dst NodeID, fixed sim.Duration) (sim.Duration, error) {
 	if !m.CanMigrate(f, dst) {
-		panic("memsim: invalid migration")
+		return 0, fault.EBUSY
 	}
 	src := m.Node(f.Node)
 	dstN := m.Node(dst)
@@ -411,7 +441,7 @@ func (m *Memory) MoveFrame(f *Frame, dst NodeID, fixed sim.Duration) sim.Duratio
 	if dstN.Bandwidth < bw {
 		bw = dstN.Bandwidth
 	}
-	return fixed + sim.Duration(float64(PageSize*f.Pages())/bw)
+	return fixed + sim.Duration(float64(PageSize*f.Pages())/bw), nil
 }
 
 // Migrator batches frame moves with a parallel-copy model: Nimble
@@ -426,18 +456,30 @@ type Migrator struct {
 }
 
 // Migrate moves every movable frame in the batch to dst, stopping when
-// dst fills. It returns the pages moved and the total virtual cost, and
-// marks both endpoints migration-busy for that duration (copies consume
-// bandwidth that foreground accesses then contend for).
-func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved int, cost sim.Duration) {
+// dst fills. It returns the pages moved, the pages whose move faulted
+// (injected EBUSY — they stay put and should be retried on a later
+// tick), and the total virtual cost; both endpoints are marked
+// migration-busy for that duration (copies consume bandwidth that
+// foreground accesses then contend for).
+func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved, faulted int, cost sim.Duration) {
 	var serial sim.Duration
 	srcSeen := make(map[NodeID]struct{})
 	for _, f := range frames {
 		if !mg.Mem.CanMigrate(f, dst) {
 			continue
 		}
-		srcSeen[f.Node] = struct{}{}
-		serial += mg.Mem.MoveFrame(f, dst, mg.FixedPerPage)
+		if e := mg.Mem.Fault.Check(fault.Migrate, now); e != 0 {
+			mg.Mem.Stats.MigrationFaults++
+			faulted++
+			continue
+		}
+		src := f.Node
+		d, err := mg.Mem.MoveFrame(f, dst, mg.FixedPerPage)
+		if err != nil {
+			continue // lost a race with another mutation; skip
+		}
+		srcSeen[src] = struct{}{}
+		serial += d
 		moved++
 	}
 	p := mg.Parallelism
@@ -451,7 +493,7 @@ func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved in
 			mg.Mem.NoteMigrationLoad(src, now, cost)
 		}
 	}
-	return moved, cost
+	return moved, faulted, cost
 }
 
 // --- L4 cache (Memory Mode) ---

@@ -89,7 +89,10 @@ func TestMigration(t *testing.T) {
 	if !m.CanMigrate(f, SlowNode) {
 		t.Fatal("frame should be movable")
 	}
-	cost := m.MoveFrame(f, SlowNode, 1000)
+	cost, err := m.MoveFrame(f, SlowNode, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cost <= 1000 {
 		t.Fatalf("migration cost %v too low", cost)
 	}
@@ -102,7 +105,9 @@ func TestMigration(t *testing.T) {
 	if m.Stats.Demotions != 1 || m.Stats.Promotions != 0 {
 		t.Fatalf("direction stats: %+v", m.Stats)
 	}
-	m.MoveFrame(f, FastNode, 1000)
+	if _, err := m.MoveFrame(f, FastNode, 1000); err != nil {
+		t.Fatal(err)
+	}
 	if m.Stats.Promotions != 1 {
 		t.Fatal("promotion not counted")
 	}
@@ -116,7 +121,7 @@ func TestPinnedFramesDoNotMigrate(t *testing.T) {
 		t.Fatal("pinned frame reported movable")
 	}
 	mg := &Migrator{Mem: m, FixedPerPage: 1000, Parallelism: 4}
-	moved, _ := mg.Migrate([]*Frame{f}, SlowNode, 0)
+	moved, _, _ := mg.Migrate([]*Frame{f}, SlowNode, 0)
 	if moved != 0 {
 		t.Fatal("migrator moved a pinned frame")
 	}
@@ -155,11 +160,11 @@ func TestMigratorParallelism(t *testing.T) {
 	}
 	m1 := testMem()
 	serial := &Migrator{Mem: m1, FixedPerPage: 1000, Parallelism: 1}
-	_, c1 := serial.Migrate(mkFrames(m1, 50), SlowNode, 0)
+	_, _, c1 := serial.Migrate(mkFrames(m1, 50), SlowNode, 0)
 
 	m2 := testMem()
 	par := &Migrator{Mem: m2, FixedPerPage: 1000, Parallelism: 4}
-	moved, c4 := par.Migrate(mkFrames(m2, 50), SlowNode, 0)
+	moved, _, c4 := par.Migrate(mkFrames(m2, 50), SlowNode, 0)
 	if moved != 50 {
 		t.Fatalf("moved %d", moved)
 	}
@@ -176,7 +181,9 @@ func TestMigrationCounterSaturates(t *testing.T) {
 		if f.Node == SlowNode {
 			dst = FastNode
 		}
-		m.MoveFrame(f, dst, 0)
+		if _, err := m.MoveFrame(f, dst, 0); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if f.Migrations != 255 {
 		t.Fatalf("8-bit counter = %d, want saturation at 255", f.Migrations)

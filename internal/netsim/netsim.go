@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"kloc/internal/alloc"
+	"kloc/internal/fault"
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
@@ -42,6 +43,8 @@ type Stats struct {
 	BytesTx, BytesRx              uint64
 	DriverDemux, TCPDemux         uint64
 	Drops                         uint64
+	// InjectedDrops counts Drops caused by the fault plane.
+	InjectedDrops uint64
 	ObjAllocs                     [16]uint64
 	ObjLive                       [16]int64
 }
@@ -105,21 +108,25 @@ func New(mem *memsim.Memory, hooks kstate.Hooks, objIDs, inoGen *kstate.IDGen) *
 	}
 }
 
-func (n *Net) slabFor(t kobj.Type, relocatable bool) *alloc.SlabCache {
+func (n *Net) slabFor(t kobj.Type, relocatable bool) (*alloc.SlabCache, error) {
 	m := n.slabs
 	if relocatable {
 		m = n.klocs
 	}
 	c := m[t]
 	if c == nil {
+		var err error
 		if relocatable {
-			c = alloc.NewKlocCache(n.Mem, t.String()+"-kloc", t.Info().Size)
+			c, err = alloc.NewKlocCache(n.Mem, t.String()+"-kloc", t.Info().Size)
 		} else {
-			c = alloc.NewSlabCache(n.Mem, t.String(), t.Info().Size)
+			c, err = alloc.NewSlabCache(n.Mem, t.String(), t.Info().Size)
+		}
+		if err != nil {
+			return nil, err
 		}
 		m[t] = c
 	}
-	return c
+	return c, nil
 }
 
 func (n *Net) allocObj(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
@@ -150,7 +157,10 @@ func (n *Net) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Obje
 			ctx.Charge(cost)
 			o = kobj.NewObject(id, t, slot.Frame, ctx.Now, func() { arena.Free(slot) })
 		} else {
-			cache := n.slabFor(t, n.Hooks.UseKlocAllocator(t))
+			cache, err := n.slabFor(t, n.Hooks.UseKlocAllocator(t))
+			if err != nil {
+				return nil, err
+			}
 			slot, cost, err := cache.Alloc(order, ctx.Now)
 			if err != nil {
 				return nil, err
@@ -304,6 +314,14 @@ func (n *Net) Deliver(ctx *kstate.Ctx, s *Socket, bytes int) error {
 		}
 		if len(s.rxQueue) >= n.rxBacklogLimit {
 			n.Stats.Drops++
+			continue
+		}
+		// Injected ingress drop: the NIC ring overflowed or the DMA
+		// failed; the segment is lost (EAGAIN territory — the peer would
+		// retransmit) but delivery of later segments continues.
+		if e := n.Mem.Fault.Check(fault.RxDrop, ctx.Now); e != 0 {
+			n.Stats.Drops++
+			n.Stats.InjectedDrops++
 			continue
 		}
 		driverKnows := n.Hooks.DriverSockExtract()

@@ -90,6 +90,8 @@ type KLOCs struct {
 
 	// KnodeDemotions/KnodePromotions count en-masse KLOC migrations.
 	KnodeDemotions, KnodePromotions uint64
+	// MigrationRetries counts knodes requeued after an injected EBUSY.
+	MigrationRetries uint64
 }
 
 // NewKLOCs builds the policy.
@@ -331,10 +333,16 @@ func (p *KLOCs) processDemotions(now sim.Time) sim.Duration {
 		if len(victims) == 0 {
 			continue
 		}
-		moved, c := p.mig.Migrate(victims, memsim.SlowNode, now)
+		moved, faulted, c := p.mig.Migrate(victims, memsim.SlowNode, now)
 		cost += c
 		if moved > 0 {
 			p.KnodeDemotions++
+		}
+		if faulted > 0 {
+			// EBUSY pages stayed on the fast node: requeue the knode so
+			// the next tick retries them.
+			p.MigrationRetries++
+			p.enqueue(&p.demoteQueue, kn)
 		}
 	}
 	return cost
@@ -367,10 +375,14 @@ func (p *KLOCs) processPromotions(now sim.Time) sim.Duration {
 		if len(movers) == 0 {
 			continue
 		}
-		moved, c := p.mig.Migrate(movers, memsim.FastNode, now)
+		moved, faulted, c := p.mig.Migrate(movers, memsim.FastNode, now)
 		cost += c
 		if moved > 0 {
 			p.KnodePromotions++
+		}
+		if faulted > 0 {
+			p.MigrationRetries++
+			p.enqueue(&p.promoteQueue, kn)
 		}
 	}
 	return cost

@@ -75,10 +75,12 @@ func (p *AllLocal) Tick(now sim.Time) sim.Duration {
 	if remote.Used() == 0 {
 		return 0
 	}
-	// Teleport by direct frame moves without cost or busy marking.
+	// Teleport by direct frame moves without cost or busy marking. A
+	// move that fails (destination filled mid-scan) is simply skipped;
+	// the oracle retries on its next tick.
 	for _, f := range framesOn(p.K.Mem, otherNode(p.K)) {
 		if p.K.Mem.CanMigrate(f, local) {
-			p.K.Mem.MoveFrame(f, local, 0)
+			_, _ = p.K.Mem.MoveFrame(f, local, 0)
 		}
 	}
 	return 0
@@ -259,7 +261,7 @@ func (p *AutoNUMA) Tick(now sim.Time) sim.Duration {
 			victims = append(victims, f)
 		}
 	}
-	moved, c := p.mig.Migrate(victims, local, now)
+	moved, _, c := p.mig.Migrate(victims, local, now)
 	p.MigratedApp += uint64(moved)
 	cost += c
 
@@ -279,7 +281,7 @@ func (p *AutoNUMA) Tick(now sim.Time) sim.Duration {
 			if len(remote) == 0 {
 				continue
 			}
-			moved, c := p.mig.Migrate(remote, local, now)
+			moved, _, c := p.mig.Migrate(remote, local, now)
 			p.MigratedKernel += uint64(moved)
 			cost += c
 		}

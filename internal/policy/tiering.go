@@ -90,7 +90,9 @@ func (e *tierEngine) moveTracked(frames []*memsim.Frame, dst memsim.NodeID, now 
 	for _, f := range frames {
 		src[f.ID] = f.Node
 	}
-	moved, cost := e.mig.Migrate(frames, dst, now)
+	// Frames whose move faulted (EBUSY) stay in their source LRU list,
+	// so the next tick's scan naturally retries them.
+	moved, _, cost := e.mig.Migrate(frames, dst, now)
 	for _, f := range frames {
 		if f.Node == dst && src[f.ID] != dst {
 			if l, ok := e.lists[src[f.ID]]; ok {

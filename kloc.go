@@ -34,6 +34,7 @@
 package kloc
 
 import (
+	"kloc/internal/fault"
 	"kloc/internal/harness"
 	"kloc/internal/kernel"
 	"kloc/internal/kloc"
@@ -144,6 +145,48 @@ func NewKLOCs(cfg KLOCConfig) *KLOCsPolicy { return policy.NewKLOCs(cfg) }
 // DefaultKLOCConfig is the full paper design.
 func DefaultKLOCConfig() KLOCConfig { return policy.DefaultKLOCConfig() }
 
+// Fault injection (the robustness plane; DESIGN.md §7).
+type (
+	// Errno is a kernel-style error code (ENOMEM, EIO, EAGAIN, EBUSY,
+	// EINVAL) propagated through the simulated kernel surface.
+	Errno = fault.Errno
+	// FaultConfig describes a deterministic fault-injection plane.
+	FaultConfig = fault.Config
+	// FaultPlane is an armed injector; attach one via
+	// Kernel.InjectFaults or RunConfig.Fault.
+	FaultPlane = fault.Plane
+	// FaultPoint names an injection point (block I/O, slab/page
+	// allocation, migration, packet ingress).
+	FaultPoint = fault.Point
+	// FaultRule sets a point's probability or schedule.
+	FaultRule = fault.Rule
+)
+
+// Errnos.
+const (
+	ENOMEM = fault.ENOMEM
+	EIO    = fault.EIO
+	EAGAIN = fault.EAGAIN
+	EBUSY  = fault.EBUSY
+	EINVAL = fault.EINVAL
+)
+
+// UniformFaults builds a config injecting each point's default errno
+// with the given probability per consult, deterministically from seed.
+func UniformFaults(seed uint64, prob float64) FaultConfig { return fault.Uniform(seed, prob) }
+
+// NewFaultPlane arms a plane from a config.
+func NewFaultPlane(cfg FaultConfig) *FaultPlane { return fault.NewPlane(cfg) }
+
+// FaultPoints lists the named injection points.
+func FaultPoints() []FaultPoint { return fault.Points() }
+
+// IsErrno reports whether err carries a kernel-style errno.
+func IsErrno(err error) bool { return fault.IsErrno(err) }
+
+// AsErrno extracts the errno from an error chain.
+func AsErrno(err error) (Errno, bool) { return fault.AsErrno(err) }
+
 // Workloads (Table 3).
 type (
 	// Workload is a Table-3 application model.
@@ -183,7 +226,7 @@ const (
 func Run(cfg RunConfig) (*Result, error) { return harness.Run(cfg) }
 
 // Experiment runs a named paper experiment ("fig2a".."fig6", "table6",
-// "prefetch", "ablations") and returns its table.
+// "prefetch", "ablations", "faults") and returns its table.
 func Experiment(name string, o Options) (*Table, error) {
 	fn, ok := harness.Experiments[name]
 	if !ok {

@@ -13,8 +13,11 @@ func TestPublicAPISurface(t *testing.T) {
 	if got := len(kloc.WorkloadNames()); got != 5 {
 		t.Fatalf("Table 3 catalog size = %d", got)
 	}
-	if got := len(kloc.ExperimentNames()); got != 12 {
+	if got := len(kloc.ExperimentNames()); got != 13 {
 		t.Fatalf("experiment registry size = %d", got)
+	}
+	if got := len(kloc.FaultPoints()); got != 5 {
+		t.Fatalf("fault point catalog size = %d", got)
 	}
 	for _, name := range []string{"naive", "nimble", "klocs", "autonuma+klocs"} {
 		if _, err := kloc.PolicyByName(name); err != nil {
