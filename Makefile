@@ -2,7 +2,7 @@
 # keep `make verify` green before merging.
 GO ?= go
 
-.PHONY: verify vet build test race bench eval
+.PHONY: verify vet build test race bench eval evalfull
 
 verify: vet build race
 
@@ -21,5 +21,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# eval regenerates eval_quick.txt from two back-to-back runs and fails
+# if they differ: the committed evaluation is only meaningful if the
+# simulation is byte-stable at a fixed seed.
 eval:
+	$(GO) run ./cmd/klocbench -exp all -quick > .eval.run1.tmp
+	$(GO) run ./cmd/klocbench -exp all -quick > .eval.run2.tmp
+	@cmp .eval.run1.tmp .eval.run2.tmp || \
+		{ rm -f .eval.run1.tmp .eval.run2.tmp; \
+		  echo "eval: output not byte-stable across identical runs"; exit 1; }
+	mv .eval.run1.tmp eval_quick.txt
+	rm -f .eval.run2.tmp
+
+# evalfull prints the full-fidelity evaluation to stdout (slow).
+evalfull:
 	$(GO) run ./cmd/klocbench -exp all

@@ -76,9 +76,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	names := []string{*exp}
-	if *exp == "all" {
-		names = kloc.ExperimentNames()
+	names, err := resolveExperiments(*exp)
+	if err != nil {
+		fatal(err)
 	}
 	for _, name := range names {
 		table, err := kloc.Experiment(name, opts)
@@ -87,6 +87,37 @@ func main() {
 		}
 		fmt.Println(table)
 	}
+}
+
+// resolveExperiments expands the -exp flag into experiment IDs: "all",
+// a single ID, or a comma-separated list. Unknown IDs are rejected up
+// front with the valid set, so a typo fails fast instead of after an
+// hour of earlier experiments.
+func resolveExperiments(exp string) ([]string, error) {
+	if exp == "all" {
+		return kloc.ExperimentNames(), nil
+	}
+	valid := make(map[string]bool)
+	for _, n := range kloc.ExperimentNames() {
+		valid[n] = true
+	}
+	var names []string
+	for _, n := range strings.Split(exp, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, or 'all')",
+				n, strings.Join(kloc.ExperimentNames(), ", "))
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no experiment named (valid: %s, or 'all')",
+			strings.Join(kloc.ExperimentNames(), ", "))
+	}
+	return names, nil
 }
 
 func fatal(err error) {

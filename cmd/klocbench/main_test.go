@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kloc"
+)
+
+func TestResolveExperimentsSingle(t *testing.T) {
+	names, err := resolveExperiments("fig4")
+	if err != nil || len(names) != 1 || names[0] != "fig4" {
+		t.Fatalf("resolve fig4 = %v, %v", names, err)
+	}
+}
+
+func TestResolveExperimentsAll(t *testing.T) {
+	names, err := resolveExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(kloc.ExperimentNames()) {
+		t.Fatalf("all = %d experiments, want %d", len(names), len(kloc.ExperimentNames()))
+	}
+}
+
+func TestResolveExperimentsList(t *testing.T) {
+	names, err := resolveExperiments("faults, pressure")
+	if err != nil || len(names) != 2 || names[0] != "faults" || names[1] != "pressure" {
+		t.Fatalf("resolve list = %v, %v", names, err)
+	}
+}
+
+func TestResolveExperimentsUnknownListsValid(t *testing.T) {
+	_, err := resolveExperiments("fig99")
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// The error must teach the valid set, including the newest entry.
+	for _, want := range []string{"fig99", "fig4", "pressure", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := resolveExperiments(""); err == nil {
+		t.Fatal("empty experiment accepted")
+	}
+	if _, err := resolveExperiments(" , "); err == nil {
+		t.Fatal("blank list accepted")
+	}
+}
+
+// TestExperimentSmoke drives one real experiment end to end through
+// the same entry point main uses, at a tiny scale.
+func TestExperimentSmoke(t *testing.T) {
+	opts := kloc.Options{ScaleDiv: 256, Duration: 5 * kloc.Millisecond, Seed: 42,
+		Workloads: []string{"rocksdb"}}
+	tbl, err := kloc.Experiment("fig2d", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "rocksdb") {
+		t.Fatalf("table missing workload row:\n%s", tbl)
+	}
+}

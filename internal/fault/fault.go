@@ -106,11 +106,14 @@ const (
 	Migrate Point = "memsim.migrate"
 	// RxDrop drops one ingress packet segment in the driver.
 	RxDrop Point = "netsim.rxdrop"
+	// Reclaim fails one reclaim round (direct or kswapd): the shrinkers
+	// are not scanned and the round makes no progress.
+	Reclaim Point = "pressure.reclaim"
 )
 
 // Points lists every fault point in stable order.
 func Points() []Point {
-	return []Point{BlockIO, AllocSlab, AllocPage, Migrate, RxDrop}
+	return []Point{BlockIO, AllocSlab, AllocPage, Migrate, RxDrop, Reclaim}
 }
 
 // DefaultErrno is the canonical errno each point injects when its rule
@@ -125,6 +128,8 @@ func DefaultErrno(pt Point) Errno {
 		return EBUSY
 	case RxDrop:
 		return EAGAIN
+	case Reclaim:
+		return ENOMEM
 	default:
 		return EIO
 	}

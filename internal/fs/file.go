@@ -13,6 +13,7 @@ import (
 func (f *FS) Write(ctx *kstate.Ctx, file *File, pageIdx int64) error {
 	ctx.Charge(syscallEntryCost)
 	ind := file.Inode
+	ind.lastUsed = ctx.Now
 	f.Stats.Writes++
 	if _, err := f.radixNode(ctx, ind, pageIdx); err != nil {
 		return err
@@ -59,6 +60,7 @@ func (f *FS) Write(ctx *kstate.Ctx, file *File, pageIdx int64) error {
 func (f *FS) Read(ctx *kstate.Ctx, file *File, pageIdx int64) error {
 	ctx.Charge(syscallEntryCost)
 	ind := file.Inode
+	ind.lastUsed = ctx.Now
 	f.Stats.Reads++
 	// atime update + permission checks touch the inode.
 	f.touchObj(ctx, ind.inodeObj, 0, true)

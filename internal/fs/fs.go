@@ -18,6 +18,7 @@ import (
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 )
 
@@ -91,6 +92,13 @@ type FS struct {
 	// commit; 0 means DefaultJournalMaxPending.
 	JournalMaxPending int
 
+	// Pressure, when non-nil, is the kernel's memory-pressure plane:
+	// allocation failures enter direct reclaim through it (scanning
+	// every registered shrinker) instead of the FS-local page-cache
+	// fallback, and journal commits run in atomic context so they can
+	// draw on the watermark reserve.
+	Pressure *pressure.Plane
+
 	journalPending []journalOp
 	// durable is the committed metadata image — what a crash preserves
 	// and Replay rebuilds.
@@ -144,16 +152,27 @@ func (f *FS) slabFor(t kobj.Type, relocatable bool) (*alloc.SlabCache, error) {
 
 // allocObj allocates a kernel object of type t for inode ino through
 // whichever allocator the policy selects, charges the cost, and fires
-// the creation hook. Under memory exhaustion it reclaims page cache
-// (kswapd-style) and retries once.
+// the creation hook. Under memory exhaustion it enters direct reclaim
+// and retries once per round of progress.
 func (f *FS) allocObj(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
 	o, err := f.allocObjOnce(ctx, t, ino)
 	if err == memsim.ErrNoMemory {
-		if f.Reclaim(ctx, reclaimBatch) > 0 {
+		if f.reclaimForAlloc(ctx) > 0 {
 			o, err = f.allocObjOnce(ctx, t, ino)
 		}
 	}
 	return o, err
+}
+
+// reclaimForAlloc routes an allocation failure into reclaim: through
+// the pressure plane's full shrinker registry when one is wired, or
+// the FS-local page-cache reclaim when the filesystem runs standalone
+// (tests). Returns pages freed.
+func (f *FS) reclaimForAlloc(ctx *kstate.Ctx) int {
+	if f.Pressure != nil {
+		return f.Pressure.DirectReclaim(ctx)
+	}
+	return f.Reclaim(ctx, reclaimBatch)
 }
 
 func (f *FS) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {

@@ -7,6 +7,7 @@ import (
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
 	"kloc/internal/rbtree"
+	"kloc/internal/sim"
 )
 
 // Page is one page-cache entry: the PageCache object plus writeback
@@ -43,6 +44,10 @@ type Inode struct {
 	// Readahead state: last sequentially read index and streak length.
 	lastRead int64
 	streak   int
+
+	// lastUsed is the most recent open/read/write time — the coldness
+	// input to OOM victim scoring.
+	lastUsed sim.Time
 
 	// SizePages is the logical file size in pages.
 	SizePages int64
@@ -134,8 +139,14 @@ func (f *FS) Open(ctx *kstate.Ctx, path string) (*File, error) {
 			return nil, errNotFound(path)
 		}
 		ind = f.inodes[ino]
-		// Re-populate the dentry cache.
+		// Re-populate the dentry and inode caches (the inode object may
+		// have been evicted by the dentry/inode shrinker).
 		var err error
+		if ind.inodeObj == nil {
+			if ind.inodeObj, err = f.allocObj(ctx, kobj.Inode, ind.Ino); err != nil {
+				return nil, err
+			}
+		}
 		if ind.dentry == nil {
 			if ind.dentry, err = f.allocObj(ctx, kobj.Dentry, ind.Ino); err != nil {
 				return nil, err
@@ -158,6 +169,7 @@ func (f *FS) findByPath(path string) (uint64, bool) {
 
 func (f *FS) openInode(ctx *kstate.Ctx, ind *Inode) *File {
 	ind.Refs++
+	ind.lastUsed = ctx.Now
 	f.touchObj(ctx, ind.inodeObj, 0, false)
 	f.Hooks.InodeOpened(ctx, ind.Ino)
 	return &File{Inode: ind, fs: f}

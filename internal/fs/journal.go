@@ -63,9 +63,14 @@ func (f *FS) journalLimit() int {
 }
 
 // journalRecord logs one metadata update: a Journal buffer object is
-// allocated, written, and queued for the next commit.
+// allocated, written, and queued for the next commit. The buffer
+// allocation runs in atomic context — losing a journal record to a
+// transient pressure spike would corrupt metadata ordering, so it may
+// draw on the watermark emergency reserve (GFP_NOFAIL in spirit).
 func (f *FS) journalRecord(ctx *kstate.Ctx, op journalOp) error {
+	exitAtomic := f.Mem.EnterAtomic()
 	o, err := f.allocObj(ctx, kobj.Journal, op.ino)
+	exitAtomic()
 	if err != nil {
 		return err
 	}

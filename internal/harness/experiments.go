@@ -7,6 +7,7 @@ import (
 	"kloc/internal/kobj"
 	"kloc/internal/memsim"
 	"kloc/internal/policy"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 	"kloc/internal/workload"
 )
@@ -477,7 +478,8 @@ func Faults(o Options) (*Table, error) {
 		Title: "Robustness — deterministic fault-injection sweep (two-tier)",
 		Note:  "uniform fault probability per consult at every injection point; same seed ⇒ same trace",
 		Header: []string{"workload", "strategy", "rate", "throughput", "degraded-ops",
-			"injected", "io-retries", "io-hard-fails", "alloc-faults", "mig-faults", "rx-drops"},
+			"injected", "io-retries", "io-hard-fails", "alloc-faults", "mig-faults", "rx-drops",
+			"direct-reclaims"},
 	}
 	rates := []float64{0, 1e-4, 1e-3}
 	for _, wl := range o.workloads([]string{"rocksdb", "redis"}) {
@@ -492,8 +494,62 @@ func Faults(o Options) (*Table, error) {
 					count(res.DegradedOps), count(res.FaultsInjected),
 					count(res.IORetries), count(res.IOHardFailures),
 					count(res.Mem.AllocFaults), count(res.Mem.MigrationFaults),
-					count(res.Net.InjectedDrops))
+					count(res.Net.InjectedDrops), count(res.Pressure.DirectReclaims))
 			}
+		}
+	}
+	return t, nil
+}
+
+// --- robustness: memory-pressure sweep ---
+
+// Pressure reproduces graceful degradation under capacity pressure: the
+// fast tier is sized to a fraction of each workload's dataset footprint
+// and the full pressure plane is armed — min/low/high watermarks on the
+// fast node, the kswapd-analog background reclaimer, bounded direct
+// reclaim through the shrinker registry, and OOM-grade context eviction
+// as the last resort. Every configuration must complete: pressure costs
+// throughput, never correctness, and the same seed yields the same
+// counters.
+func Pressure(o Options) (*Table, error) {
+	t := &Table{
+		Title: "Robustness — memory-pressure sweep (fast tier sized as a fraction of the dataset)",
+		Note:  "watermarks + kswapd armed; shrinker reclaim and OOM eviction keep every run completing",
+		Header: []string{"workload", "fast/dataset", "fast-pages", "throughput", "degraded-ops",
+			"direct-reclaims", "kswapd-pages", "oom-evictions", "reserve-dips", "wm-blocks"},
+	}
+	fracs := []float64{0.50, 0.75, 0.90}
+	for _, wl := range o.workloads([]string{"rocksdb", "redis"}) {
+		// Probe the workload's scaled footprint to size the fast tier.
+		probe, err := workload.ByName(wl, workload.Config{ScaleDiv: o.ScaleDiv})
+		if err != nil {
+			return nil, err
+		}
+		sized, ok := probe.(workload.Sized)
+		if !ok {
+			return nil, fmt.Errorf("pressure: workload %q does not report a dataset size", wl)
+		}
+		dataset := sized.DatasetPages()
+		for _, frac := range fracs {
+			ttCfg := memsim.DefaultTwoTier(o.ScaleDiv)
+			ttCfg.FastPages = int(frac * float64(dataset))
+			// Size total memory to 9/8 of the dataset: setup fits,
+			// but steady-state churn (WAL rotation, checkpoints,
+			// compaction transients, slab growth) overruns the slack
+			// and has to be paid for by kswapd and direct reclaim.
+			ttCfg.SlowPages = dataset + dataset/32 - ttCfg.FastPages
+			pcfg := pressure.Config{KswapdPeriod: sim.Millisecond}
+			res, err := o.run(RunConfig{
+				PolicyName: "klocs", Workload: wl,
+				TwoTier: &ttCfg, Pressure: &pcfg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(wl, pct(frac), count(uint64(ttCfg.FastPages)), f1(res.Throughput),
+				count(res.DegradedOps), count(res.Pressure.DirectReclaims),
+				count(res.Pressure.KswapdPages), count(res.Pressure.OOMEvictions),
+				count(res.ReserveDips), count(res.Mem.WatermarkBlocks))
 		}
 	}
 	return t, nil
@@ -514,10 +570,11 @@ var Experiments = map[string]func(Options) (*Table, error){
 	"prefetch":  Prefetch,
 	"ablations": Ablations,
 	"faults":    Faults,
+	"pressure":  Pressure,
 }
 
 // ExperimentNames lists experiments in presentation order.
 func ExperimentNames() []string {
 	return []string{"fig2a", "fig2b", "fig2c", "fig2d", "fig4", "table6",
-		"fig5a", "fig5b", "fig5c", "fig6", "prefetch", "ablations", "faults"}
+		"fig5a", "fig5b", "fig5c", "fig6", "prefetch", "ablations", "faults", "pressure"}
 }

@@ -13,6 +13,7 @@ import (
 	"kloc/internal/metrics"
 	"kloc/internal/netsim"
 	"kloc/internal/policy"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 	"kloc/internal/workload"
 )
@@ -70,6 +71,14 @@ type RunConfig struct {
 	// perturbed and a rate-0 plane leaves the run bit-identical to an
 	// unfaulted one. Nil runs without injection.
 	Fault *fault.Config
+
+	// Pressure configures the memory-pressure plane: watermarks on the
+	// fast node (enabling the emergency-reserve gate) and, with a
+	// nonzero KswapdPeriod, the background reclaimer. Applied after
+	// workload setup, like Fault. Nil leaves watermarks off — direct
+	// reclaim through the shrinker registry still works; only the
+	// reserve gate and kswapd stay disabled.
+	Pressure *pressure.Config
 }
 
 // Result is one run's outcome.
@@ -124,6 +133,17 @@ type Result struct {
 	// retry-budget-exhaustion counts.
 	IORetries      uint64
 	IOHardFailures uint64
+
+	// Memory-pressure outcomes (nonzero only when the run hit
+	// pressure). Pressure mirrors the plane's counters — direct-reclaim
+	// invocations and pages, kswapd wakeups and pages, OOM evictions
+	// and spilled pages, aborted reclaim rounds. ReserveDips counts
+	// atomic allocations that drew on the watermark emergency reserve,
+	// and ShrinkerStats breaks reclaimed objects/pages down per
+	// registered shrinker in scan order.
+	Pressure      pressure.Stats
+	ReserveDips   uint64
+	ShrinkerStats []pressure.ShrinkerStat
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -210,6 +230,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		plane = fault.NewPlane(*cfg.Fault)
 		k.InjectFaults(plane)
 	}
+	// Configure pressure before Start so kswapd is armed when the
+	// daemons launch. Setup ran without the reserve gate for the same
+	// reason the fault plane attaches late: a configured run's setup is
+	// bit-identical to an unconfigured one's.
+	if cfg.Pressure != nil {
+		k.Pressure.Configure(*cfg.Pressure)
+	}
 	k.Start()
 
 	threads := wl.Threads()
@@ -252,7 +279,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			}
 			ctx := k.NewCtx(t)
 			if err := wl.Step(k, ctx, t, rng); err != nil {
-				if plane != nil && fault.IsErrno(err) {
+				if (plane != nil || cfg.Pressure != nil) && fault.IsErrno(err) {
 					// Graceful degradation: an injected (or induced)
 					// errno fails this operation, not the run. The op
 					// still pays the virtual time it consumed.
@@ -292,6 +319,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	res.IORetries = k.FS.MQ.Retries
 	res.IOHardFailures = k.FS.MQ.HardFailures
+	res.Pressure = k.Pressure.Stats
+	res.ReserveDips = k.Mem.Stats.ReserveDips
+	res.ShrinkerStats = k.Pressure.ShrinkerStats()
 	return res, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"kloc/internal/memsim"
 	"kloc/internal/metrics"
 	"kloc/internal/netsim"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 )
 
@@ -50,6 +51,11 @@ type Kernel struct {
 	FS  *fs.FS
 	Net *netsim.Net
 
+	// Pressure is the memory-pressure plane: the shrinker registry is
+	// the kernel's single reclaim entry point (fs and netsim route
+	// their allocation slow paths through it).
+	Pressure *pressure.Plane
+
 	Policy Policy
 
 	// Lifetimes records object/page lifetimes by class (Fig 2d).
@@ -80,7 +86,17 @@ func New(eng *sim.Engine, mem *memsim.Memory, pol Policy) *Kernel {
 	mq := blockdev.NewMQ(blockdev.SimNVMe(), mem.NumCPUs())
 	k.FS = fs.New(mem, mq, hooks, &k.objIDs, &k.inoGen)
 	k.Net = netsim.New(mem, hooks, &k.objIDs, &k.inoGen)
-	k.Net.ReclaimFn = k.FS.Reclaim
+	// The pressure plane is the single reclaim entry point: every
+	// subsystem's allocation slow path goes through its shrinker
+	// registry (page cache, dentry/inode caches, skbuff backlogs), and
+	// the OOM evictor degrades gracefully when the caches run dry.
+	k.Pressure = pressure.NewPlane(mem, memsim.FastNode)
+	k.Pressure.Register(k.FS.PageCacheShrinker())
+	k.Pressure.Register(k.FS.DentryShrinker())
+	k.Pressure.Register(k.Net.SkbuffShrinker())
+	k.Pressure.OOM = &oomEvictor{k: k}
+	k.FS.Pressure = k.Pressure
+	k.Net.Pressure = k.Pressure
 	pol.Attach(k)
 	return k
 }
@@ -97,8 +113,10 @@ func (k *Kernel) InjectFaults(p *fault.Plane) {
 // FaultPlane returns the armed plane, if any.
 func (k *Kernel) FaultPlane() *fault.Plane { return k.Mem.Fault }
 
-// Start launches the policy daemon on the engine.
+// Start launches the policy daemon (and, when configured, the kswapd
+// background reclaimer) on the engine.
 func (k *Kernel) Start() {
+	k.Pressure.StartKswapd(k.Eng)
 	period := k.Policy.TickPeriod()
 	if period <= 0 {
 		return
@@ -145,14 +163,23 @@ func (k *Kernel) NewCtx(thread int) *kstate.Ctx {
 
 // --- application pages ---
 
+// appReclaimRetries bounds AppAlloc's direct-reclaim attempts: each
+// round that makes progress earns one more allocation retry; a round
+// with no progress gives up immediately.
+const appReclaimRetries = 4
+
 // AppAlloc allocates n application pages placed by the policy,
-// returning the frames. Fails when memory is exhausted.
+// returning the frames. Under exhaustion it enters direct reclaim
+// (watermark-derived target, bounded retries) before failing.
 func (k *Kernel) AppAlloc(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
 	order := k.Policy.PlaceApp(ctx)
 	out := make([]*memsim.Frame, 0, n)
 	for i := 0; i < n; i++ {
 		f, err := k.Mem.AllocFallback(order, memsim.ClassApp, ctx.Now)
-		if err == memsim.ErrNoMemory && k.FS.Reclaim(ctx, 64) > 0 {
+		for try := 0; err == memsim.ErrNoMemory && try < appReclaimRetries; try++ {
+			if k.Pressure.DirectReclaim(ctx) == 0 {
+				break // no progress: more retries cannot help
+			}
 			f, err = k.Mem.AllocFallback(order, memsim.ClassApp, ctx.Now)
 		}
 		if err != nil {

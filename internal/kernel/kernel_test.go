@@ -41,8 +41,21 @@ func TestKernelAssembly(t *testing.T) {
 	if pol.k != k {
 		t.Fatal("policy not attached")
 	}
-	if k.Net.ReclaimFn == nil {
-		t.Fatal("network reclaim not wired to the FS")
+	if k.Pressure == nil {
+		t.Fatal("pressure plane not assembled")
+	}
+	names := k.Pressure.ShrinkerNames()
+	want := []string{"fs.pagecache", "fs.dentry", "net.skbuff"}
+	if len(names) != len(want) {
+		t.Fatalf("shrinkers = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("shrinkers = %v, want %v", names, want)
+		}
+	}
+	if k.FS.Pressure != k.Pressure || k.Net.Pressure != k.Pressure {
+		t.Fatal("subsystem reclaim not routed through the pressure plane")
 	}
 }
 
@@ -184,6 +197,65 @@ func TestAppAllocReclaimsUnderPressure(t *testing.T) {
 	// App allocation should succeed by reclaiming cache.
 	if _, err := k.AppAlloc(ctx, 8); err != nil {
 		t.Fatalf("app alloc did not reclaim: %v", err)
+	}
+}
+
+// TestAppAllocReclaimTargetBeyondOldBatch is the regression test for
+// the old slow path, which reclaimed a hardcoded 64 pages exactly once
+// and failed any allocation needing more. The bounded retry loop with
+// a watermark-derived target must satisfy a demand several batches
+// deep.
+func TestAppAllocReclaimTargetBeyondOldBatch(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := memsim.NewTwoTier(memsim.TwoTierConfig{
+		FastPages: 256, SlowPages: 256, FastBandwidth: 30, BandwidthRatio: 4, CPUs: 1,
+	})
+	k := New(eng, mem, &testPolicy{})
+	ctx := k.NewCtx(0)
+	// Fill all 512 pages with clean, reclaimable page cache.
+	f, err := k.FS.Create(ctx, "/fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); ; i++ {
+		if err := k.FS.Write(ctx, f, i); err != nil {
+			break
+		}
+	}
+	k.FS.Fsync(ctx, f)
+	k.FS.Close(ctx, f)
+	// 200 pages needs >3 of the old 64-page one-shot batches.
+	frames, err := k.AppAlloc(ctx, 200)
+	if err != nil {
+		t.Fatalf("alloc needing multiple reclaim batches failed: %v", err)
+	}
+	if len(frames) != 200 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	if k.Pressure.Stats.DirectReclaims == 0 {
+		t.Fatal("allocation succeeded without entering direct reclaim")
+	}
+}
+
+// TestAppAllocStopsOnNoProgress pins the other half of the retry-loop
+// contract: when nothing is reclaimable, the loop must give up after
+// one fruitless round instead of burning its whole retry budget.
+func TestAppAllocStopsOnNoProgress(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := memsim.NewTwoTier(memsim.TwoTierConfig{
+		FastPages: 64, SlowPages: 64, FastBandwidth: 30, BandwidthRatio: 4, CPUs: 1,
+	})
+	k := New(eng, mem, &testPolicy{})
+	ctx := k.NewCtx(0)
+	// Fill with app pages — not reclaimable by any shrinker.
+	if _, err := k.AppAlloc(ctx, 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.AppAlloc(ctx, 1); err != memsim.ErrNoMemory {
+		t.Fatalf("err = %v, want ErrNoMemory", err)
+	}
+	if got := k.Pressure.Stats.DirectReclaims; got != 1 {
+		t.Fatalf("direct reclaims = %d, want 1 (stop on no progress)", got)
 	}
 }
 

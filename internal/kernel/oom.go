@@ -1,0 +1,77 @@
+package kernel
+
+import (
+	"kloc/internal/kstate"
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+)
+
+// oomFixedPerPage is the spill migration's per-page fixed cost
+// (page-table rewrite + TLB shootdown), matching the policy layer's
+// migration model.
+const oomFixedPerPage = 3 * sim.Microsecond
+
+// OOMVictimChooser is implemented by policies that can nominate an
+// OOM victim: the worst-scoring KLOC context's relocatable frames on
+// the pressured node. Policies without the method fall back to the
+// filesystem's coldest-inode scoring.
+type OOMVictimChooser interface {
+	OOMVictimFrames(node memsim.NodeID, now sim.Time) []*memsim.Frame
+}
+
+// oomEvictor is the kernel's last-resort degradation path, invoked by
+// the pressure plane when every shrinker has run dry and the pressured
+// node sits below its Min watermark. It picks the worst offender
+// (footprint × coldness), spills its relocatable frames to the tier
+// with the most headroom, and frees outright what cannot move — the
+// run degrades instead of dying.
+type oomEvictor struct{ k *Kernel }
+
+// EvictWorst implements pressure.OOMEvictor. Returns the pressured
+// node's free-page growth.
+func (o *oomEvictor) EvictWorst(ctx *kstate.Ctx, node memsim.NodeID) int {
+	k := o.k
+	var frames []*memsim.Frame
+	if ch, ok := k.Policy.(OOMVictimChooser); ok {
+		frames = ch.OOMVictimFrames(node, ctx.Now)
+	}
+	if len(frames) == 0 {
+		frames = k.FS.OOMVictimFrames(node, ctx.Now)
+	}
+	if len(frames) == 0 {
+		return 0
+	}
+	before := k.Mem.Node(node).Free()
+	if dst, ok := k.spillNode(node); ok {
+		mig := &memsim.Migrator{Mem: k.Mem, FixedPerPage: oomFixedPerPage, Parallelism: 4}
+		_, _, cost := mig.Migrate(frames, dst, ctx.Now)
+		ctx.Charge(cost)
+	}
+	// Frames still on the node could not migrate (pinned, or no tier
+	// has room): evict FS-owned cache pages outright.
+	for _, f := range frames {
+		if f.Node == node && f.Class == memsim.ClassCache {
+			k.FS.EvictFrame(ctx, f)
+		}
+	}
+	freed := k.Mem.Node(node).Free() - before
+	if freed < 0 {
+		freed = 0
+	}
+	return freed
+}
+
+// spillNode picks the node with the most free pages other than the
+// pressured one (ties break toward the lower ID via strict >).
+func (k *Kernel) spillNode(node memsim.NodeID) (memsim.NodeID, bool) {
+	best, bestFree, ok := memsim.NodeID(0), 0, false
+	for _, n := range k.Mem.Nodes {
+		if n.ID == node {
+			continue
+		}
+		if n.Free() > bestFree {
+			best, bestFree, ok = n.ID, n.Free(), true
+		}
+	}
+	return best, ok
+}

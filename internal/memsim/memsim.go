@@ -99,7 +99,41 @@ type Node struct {
 	// Excessive migration damaging performance is a real effect the
 	// paper calls out in §7.2.
 	migBusyUntil sim.Time
+
+	// wm holds the node's reclaim watermarks. The zero value disables
+	// the reserve gate entirely, so nodes without watermarks behave as
+	// if the pressure plane did not exist.
+	wm Watermarks
 }
+
+// Watermarks are per-node reclaim thresholds in pages, mirroring
+// Linux's zone watermarks: allocations that would leave fewer than Min
+// free pages fail unless the allocator is in atomic context; kswapd
+// wakes below Low and reclaims until free memory reaches High.
+type Watermarks struct {
+	Min, Low, High int
+}
+
+// Zero reports whether the watermarks are unset (reserve gate off).
+func (w Watermarks) Zero() bool { return w.Min == 0 && w.Low == 0 && w.High == 0 }
+
+// DeriveWatermarks computes default watermarks from a node capacity,
+// following the shape (not the tunables) of Linux's
+// min_free_kbytes-derived ladder: min ≈ capacity/64, low = min·5/4,
+// high = min·3/2.
+func DeriveWatermarks(capacityPages int) Watermarks {
+	min := capacityPages / 64
+	if min < 4 {
+		min = 4
+	}
+	return Watermarks{Min: min, Low: min * 5 / 4, High: min * 3 / 2}
+}
+
+// SetWatermarks installs reclaim watermarks on the node.
+func (n *Node) SetWatermarks(w Watermarks) { n.wm = w }
+
+// NodeWatermarks returns the node's watermarks (zero if unset).
+func (n *Node) NodeWatermarks() Watermarks { return n.wm }
 
 // Used reports allocated pages.
 func (n *Node) Used() int { return n.used }
@@ -155,6 +189,13 @@ type Stats struct {
 	// fault plane (zero when no plane is armed).
 	AllocFaults     uint64
 	MigrationFaults uint64
+	// ReserveDips counts atomic-context allocations that dipped below a
+	// node's Min watermark — successful GFP_ATOMIC-style draws on the
+	// emergency reserve.
+	ReserveDips uint64
+	// WatermarkBlocks counts non-atomic allocations refused by the Min
+	// watermark gate (room existed but only inside the reserve).
+	WatermarkBlocks uint64
 	// L4Hits/L4Misses count Memory-Mode DRAM cache behaviour.
 	L4Hits, L4Misses uint64
 	// RefsByNode counts references served by each node (placement
@@ -183,6 +224,11 @@ type Memory struct {
 
 	frames    map[FrameID]*Frame
 	nextFrame FrameID
+	// atomicDepth > 0 marks GFP_ATOMIC context: allocations may dip
+	// into the watermark reserve (rx path, journal commits, reclaim
+	// itself — the PF_MEMALLOC analog). The simulation is single-
+	// threaded, so a plain depth counter is race-free.
+	atomicDepth int
 	// usedByClass tracks current page occupancy per node per class
 	// (capacity-limit enforcement, sys_kloc_memsize).
 	usedByClass map[NodeID]*[6]int
@@ -268,12 +314,22 @@ func (m *Memory) AllocOrder(node NodeID, class Class, order uint8, now sim.Time)
 	if n.used+pages > n.Capacity {
 		return nil, ErrNoMemory
 	}
+	// Watermark reserve gate: a non-atomic allocation may not leave the
+	// node below its Min watermark — that headroom is the emergency
+	// reserve for atomic contexts (rx path, journal, reclaim).
+	if !n.wm.Zero() && m.atomicDepth == 0 && n.Free()-pages < n.wm.Min {
+		m.Stats.WatermarkBlocks++
+		return nil, ErrNoMemory
+	}
 	// Injected exhaustion: the node claims to be full even though it has
 	// room. Per-node injection means AllocFallback naturally falls
 	// through to the next node in the placement order.
 	if e := m.Fault.Check(faultPointFor(class), now); e != 0 {
 		m.Stats.AllocFaults++
 		return nil, e
+	}
+	if !n.wm.Zero() && m.atomicDepth > 0 && n.Free()-pages < n.wm.Min {
+		m.Stats.ReserveDips++
 	}
 	n.used += pages
 	f := &Frame{
@@ -290,6 +346,19 @@ func (m *Memory) AllocOrder(node NodeID, class Class, order uint8, now sim.Time)
 	m.usedByClass[node][class] += pages
 	return f, nil
 }
+
+// EnterAtomic enters GFP_ATOMIC context: until the returned function is
+// called, allocations may dip into the watermark reserve below Min.
+// Nestable; the simulation is single-goroutine so no locking is needed.
+//
+//	defer mem.EnterAtomic()()
+func (m *Memory) EnterAtomic() func() {
+	m.atomicDepth++
+	return func() { m.atomicDepth-- }
+}
+
+// InAtomic reports whether an atomic-context scope is open.
+func (m *Memory) InAtomic() bool { return m.atomicDepth > 0 }
 
 // Pages reports the base pages a frame covers.
 func (f *Frame) Pages() int { return 1 << f.Order }

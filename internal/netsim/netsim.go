@@ -15,6 +15,7 @@ import (
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 )
 
@@ -45,8 +46,11 @@ type Stats struct {
 	Drops                         uint64
 	// InjectedDrops counts Drops caused by the fault plane.
 	InjectedDrops uint64
-	ObjAllocs                     [16]uint64
-	ObjLive                       [16]int64
+	// ReclaimedPackets counts queued packets dropped by the skbuff
+	// shrinker under memory pressure (a subset of Drops).
+	ReclaimedPackets uint64
+	ObjAllocs        [16]uint64
+	ObjLive          [16]int64
 }
 
 // Packet is one in-flight ingress packet.
@@ -81,13 +85,17 @@ type Net struct {
 	arenas map[uint64]*alloc.Arena
 
 	sockets map[uint64]*Socket
+	// sockOrder keeps creation-order iteration over sockets for the
+	// skbuff shrinker; Go map order would break determinism.
+	sockOrder []uint64
 	// rxBacklogLimit drops ingress packets beyond this per-socket
 	// backlog, like a full receive buffer.
 	rxBacklogLimit int
-	// ReclaimFn, when set, is invoked under memory exhaustion to free
-	// page cache (the kernel wires it to fs.Reclaim). Returns pages
-	// freed.
-	ReclaimFn func(ctx *kstate.Ctx, n int) int
+	// Pressure, when non-nil, is the kernel's memory-pressure plane:
+	// allocation failures enter direct reclaim through its shrinker
+	// registry, and the ingress path runs in atomic context so it can
+	// draw on the watermark reserve (GFP_ATOMIC, as in a real driver).
+	Pressure *pressure.Plane
 
 	Stats Stats
 }
@@ -131,8 +139,8 @@ func (n *Net) slabFor(t kobj.Type, relocatable bool) (*alloc.SlabCache, error) {
 
 func (n *Net) allocObj(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Object, error) {
 	o, err := n.allocObjOnce(ctx, t, ino)
-	if err == memsim.ErrNoMemory && n.ReclaimFn != nil {
-		if n.ReclaimFn(ctx, 64) > 0 {
+	if err == memsim.ErrNoMemory && n.Pressure != nil {
+		if n.Pressure.DirectReclaim(ctx) > 0 {
 			o, err = n.allocObjOnce(ctx, t, ino)
 		}
 	}
@@ -228,6 +236,7 @@ func (n *Net) SocketCreate(ctx *kstate.Ctx) (*Socket, error) {
 	}
 	s := &Socket{Ino: ino, sockObj: sockObj, Open: true}
 	n.sockets[ino] = s
+	n.sockOrder = append(n.sockOrder, ino)
 	n.Hooks.InodeOpened(ctx, ino)
 	n.Stats.SocketsCreated++
 	return s, nil
@@ -248,6 +257,12 @@ func (n *Net) SocketClose(ctx *kstate.Ctx, s *Socket) {
 	n.freeObj(ctx, s.sockObj)
 	s.sockObj = nil
 	delete(n.sockets, s.Ino)
+	for i, ino := range n.sockOrder {
+		if ino == s.Ino {
+			n.sockOrder = append(n.sockOrder[:i], n.sockOrder[i+1:]...)
+			break
+		}
+	}
 	delete(n.arenas, s.Ino) // all objects freed: the arena is empty
 	n.Hooks.InodeClosed(ctx, s.Ino)
 	n.Hooks.InodeDeleted(ctx, s.Ino)
@@ -307,6 +322,10 @@ func (n *Net) Deliver(ctx *kstate.Ctx, s *Socket, bytes int) error {
 		n.Stats.Drops++
 		return nil
 	}
+	// Softirq context cannot sleep: ingress allocations are GFP_ATOMIC
+	// and may dip into the watermark reserve rather than fail.
+	exitAtomic := n.Mem.EnterAtomic()
+	defer exitAtomic()
 	for recvd := 0; recvd < bytes; recvd += mtu {
 		seg := bytes - recvd
 		if seg > mtu {

@@ -124,6 +124,48 @@ func (p *KLOCs) Attach(k *kernel.Kernel) {
 	p.mig = &memsim.Migrator{Mem: k.Mem, FixedPerPage: migFixedPerPage, Parallelism: 4}
 }
 
+// OOMVictimFrames nominates the OOM victim for the kernel's
+// last-resort degradation path: the knode with the largest
+// footprint-on-node × staleness score, preferring inactive (closed)
+// contexts; an active knode is only sacrificed when no inactive one
+// holds frames on the pressured node. Knode iteration is kmap order,
+// and ties keep the first (lowest-ID) candidate, so the choice is
+// deterministic.
+func (p *KLOCs) OOMVictimFrames(node memsim.NodeID, now sim.Time) []*memsim.Frame {
+	if p.Reg == nil {
+		return nil
+	}
+	pick := func(includeActive bool) []*memsim.Frame {
+		var bestFrames []*memsim.Frame
+		var best uint64
+		for _, kn := range p.Reg.ColdKnodes(0) { // threshold 0: every knode
+			if kn.Active && !includeActive {
+				continue
+			}
+			var onNode []*memsim.Frame
+			for _, f := range kn.MovableFrames() {
+				if f.Node == node {
+					onNode = append(onNode, f)
+				}
+			}
+			if len(onNode) == 0 {
+				continue
+			}
+			score := uint64(len(onNode)) * uint64(kn.Age+1)
+			if score > best {
+				best, bestFrames = score, onNode
+			}
+		}
+		return bestFrames
+	}
+	if frames := pick(false); len(frames) > 0 {
+		return frames
+	}
+	return pick(true)
+}
+
+var _ kernel.OOMVictimChooser = (*KLOCs)(nil)
+
 func (p *KLOCs) includes(t kobj.Type) bool {
 	if p.included == nil {
 		return true

@@ -48,6 +48,12 @@ func (w *Redis) Threads() int { return w.cfg.Threads }
 // TotalOps implements Workload.
 func (w *Redis) TotalOps() int { return w.cfg.Ops }
 
+// DatasetPages implements Sized: the keyspace store plus one
+// checkpoint file per instance.
+func (w *Redis) DatasetPages() int {
+	return w.cfg.pages(12000) + w.cfg.Threads*int(w.ckptPages)
+}
+
 // Setup allocates the keyspace and opens one server socket per
 // instance.
 func (w *Redis) Setup(k *kernel.Kernel, r *sim.RNG) error {

@@ -78,6 +78,12 @@ func (w *RocksDB) Threads() int { return w.cfg.Threads }
 // TotalOps implements Workload.
 func (w *RocksDB) TotalOps() int { return w.cfg.Ops }
 
+// DatasetPages implements Sized: the app heap (memtable + block cache)
+// plus the on-disk SSTable dataset at the configured scale.
+func (w *RocksDB) DatasetPages() int {
+	return w.cfg.pages(6200) + w.datasetTables*int(w.sstPages)
+}
+
 // Setup allocates the app heap (memtable + block cache) and seeds the
 // store with a handful of SSTables.
 func (w *RocksDB) Setup(k *kernel.Kernel, r *sim.RNG) error {

@@ -33,6 +33,14 @@ type Workload interface {
 	Step(k *kernel.Kernel, ctx *kstate.Ctx, thread int, r *sim.RNG) error
 }
 
+// Sized is implemented by workloads that can report their scaled
+// footprint — app heap plus file dataset — in pages. The pressure
+// experiment uses it to size the fast tier as a fraction of the
+// dataset.
+type Sized interface {
+	DatasetPages() int
+}
+
 // Config scales a workload.
 type Config struct {
 	// ScaleDiv divides Table-3 footprints (64 = default laptop scale;

@@ -34,6 +34,8 @@
 package kloc
 
 import (
+	"strings"
+
 	"kloc/internal/fault"
 	"kloc/internal/harness"
 	"kloc/internal/kernel"
@@ -41,6 +43,7 @@ import (
 	"kloc/internal/kobj"
 	"kloc/internal/memsim"
 	"kloc/internal/policy"
+	"kloc/internal/pressure"
 	"kloc/internal/sim"
 	"kloc/internal/workload"
 )
@@ -187,6 +190,31 @@ func IsErrno(err error) bool { return fault.IsErrno(err) }
 // AsErrno extracts the errno from an error chain.
 func AsErrno(err error) (Errno, bool) { return fault.AsErrno(err) }
 
+// Memory pressure (the watermark/reclaim plane; DESIGN.md §8).
+type (
+	// PressureConfig configures watermarks, the kswapd-analog
+	// background reclaimer, and direct-reclaim retry bounds for a run
+	// (RunConfig.Pressure).
+	PressureConfig = pressure.Config
+	// PressurePlane is the assembled reclaim machinery — shrinker
+	// registry, bounded direct reclaim, kswapd, OOM-grade eviction.
+	// Every Kernel owns one (Kernel.Pressure).
+	PressurePlane = pressure.Plane
+	// PressureStats counts a run's reclaim activity.
+	PressureStats = pressure.Stats
+	// Shrinker is a Linux-style count/scan reclaim callback.
+	Shrinker = pressure.Shrinker
+	// Watermarks are per-node min/low/high free-page thresholds.
+	Watermarks = memsim.Watermarks
+)
+
+// DeriveWatermarks computes Linux-style min/low/high watermarks for a
+// node of the given capacity (min ≈ capacity/64, low = 5/4·min,
+// high = 3/2·min).
+func DeriveWatermarks(capacityPages int) Watermarks {
+	return memsim.DeriveWatermarks(capacityPages)
+}
+
 // Workloads (Table 3).
 type (
 	// Workload is a Table-3 application model.
@@ -226,7 +254,7 @@ const (
 func Run(cfg RunConfig) (*Result, error) { return harness.Run(cfg) }
 
 // Experiment runs a named paper experiment ("fig2a".."fig6", "table6",
-// "prefetch", "ablations", "faults") and returns its table.
+// "prefetch", "ablations", "faults", "pressure") and returns its table.
 func Experiment(name string, o Options) (*Table, error) {
 	fn, ok := harness.Experiments[name]
 	if !ok {
@@ -247,5 +275,6 @@ func QuickOptions() Options { return harness.QuickOptions() }
 type errUnknownExperiment string
 
 func (e errUnknownExperiment) Error() string {
-	return "kloc: unknown experiment " + string(e)
+	return "kloc: unknown experiment " + string(e) +
+		" (valid: " + strings.Join(ExperimentNames(), ", ") + ")"
 }

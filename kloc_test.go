@@ -13,10 +13,10 @@ func TestPublicAPISurface(t *testing.T) {
 	if got := len(kloc.WorkloadNames()); got != 5 {
 		t.Fatalf("Table 3 catalog size = %d", got)
 	}
-	if got := len(kloc.ExperimentNames()); got != 13 {
+	if got := len(kloc.ExperimentNames()); got != 14 {
 		t.Fatalf("experiment registry size = %d", got)
 	}
-	if got := len(kloc.FaultPoints()); got != 5 {
+	if got := len(kloc.FaultPoints()); got != 6 {
 		t.Fatalf("fault point catalog size = %d", got)
 	}
 	for _, name := range []string{"naive", "nimble", "klocs", "autonuma+klocs"} {
