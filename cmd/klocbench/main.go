@@ -1,13 +1,18 @@
 // Command klocbench regenerates the paper's performance tables and
 // figures (Fig 4, Table 6, Fig 5a/5b/5c, Fig 6, the §7.3 prefetch
-// study, and the design ablations).
+// study, the design ablations, and the fault/pressure robustness
+// tables), or executes one raw run with optional tracing.
 //
 // Usage:
 //
 //	klocbench -exp fig4                 # one experiment
+//	klocbench -exp fig4,fig5a           # a comma-separated list
 //	klocbench -exp all                  # the full evaluation
 //	klocbench -exp fig4 -quick          # reduced duration
 //	klocbench -run -policy klocs -workload rocksdb   # one raw run
+//	klocbench -run -trace run.json      # raw run + Chrome trace export
+//
+// Flag-parse and flag-validation errors exit 2; runtime errors exit 1.
 package main
 
 import (
@@ -21,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id ("+strings.Join(kloc.ExperimentNames(), ", ")+", or 'all')")
+		exp      = flag.String("exp", "", "experiment id ("+strings.Join(kloc.ExperimentNames(), ", ")+", a comma-separated list, or 'all')")
 		quick    = flag.Bool("quick", false, "reduced virtual duration (faster, noisier)")
 		duration = flag.Int("duration-ms", 0, "override measured duration in virtual milliseconds")
 		seed     = flag.Uint64("seed", 42, "simulation seed")
@@ -31,8 +36,15 @@ func main() {
 		policy   = flag.String("policy", "klocs", "policy for -run")
 		workload = flag.String("workload", "rocksdb", "workload for -run")
 		optane   = flag.Bool("optane", false, "use the Optane Memory-Mode platform for -run")
+
+		traceFile   = flag.String("trace", "", "with -run: write the run's trace to this file (.json = Chrome trace-event format, else text; see OBSERVABILITY.md)")
+		traceEvents = flag.String("trace-events", "", "comma-separated event-name patterns to trace (\"alloc.*,oom.spill\"); empty traces the full catalog")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		usageError(fmt.Errorf("unexpected arguments: %s", strings.Join(flag.Args(), " ")))
+	}
 
 	opts := kloc.DefaultOptions()
 	if *quick {
@@ -42,6 +54,10 @@ func main() {
 	opts.ScaleDiv = *scale
 	if *duration > 0 {
 		opts.Duration = kloc.Duration(*duration) * kloc.Millisecond
+	}
+
+	if !*rawRun && (*traceFile != "" || *traceEvents != "") {
+		usageError(fmt.Errorf("-trace/-trace-events require -run (experiments aggregate many runs; trace one of them instead)"))
 	}
 
 	if *rawRun {
@@ -56,6 +72,17 @@ func main() {
 			cfg.Platform = kloc.Optane
 			cfg.MoveTaskAtFrac = 0.1
 		}
+		if *traceFile != "" {
+			tc := kloc.TraceConfig{}
+			if *traceEvents != "" {
+				for _, p := range strings.Split(*traceEvents, ",") {
+					if p = strings.TrimSpace(p); p != "" {
+						tc.Events = append(tc.Events, p)
+					}
+				}
+			}
+			cfg.Trace = &tc
+		}
 		res, err := kloc.Run(cfg)
 		if err != nil {
 			fatal(err)
@@ -69,16 +96,22 @@ func main() {
 			fmt.Printf("  kloc metadata: %d bytes (scaled), fast-path hit rate %.2f\n",
 				res.KlocMetadataBytes, res.FastPathHitRate)
 		}
+		if res.Trace != nil {
+			printTraceSummary(res.TraceStats)
+			if err := writeTrace(res.Trace, *traceFile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  trace written to %s\n", *traceFile)
+		}
 		return
 	}
 
 	if *exp == "" {
-		flag.Usage()
-		os.Exit(2)
+		usageError(fmt.Errorf("nothing to do: pass -exp <id> or -run"))
 	}
 	names, err := resolveExperiments(*exp)
 	if err != nil {
-		fatal(err)
+		usageError(err)
 	}
 	for _, name := range names {
 		table, err := kloc.Experiment(name, opts)
@@ -87,6 +120,50 @@ func main() {
 		}
 		fmt.Println(table)
 	}
+}
+
+// usage enumerates every flag; the satellite fix for the old help text
+// that documented only a subset.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: klocbench -exp <id>[,<id>...] [-quick] [-duration-ms N] [-seed N] [-scale N]\n"+
+			"       klocbench -run [-policy P] [-workload W] [-optane] [-trace FILE [-trace-events GLOBS]]\n\n"+
+			"experiments: %s (or 'all')\n\nflags:\n",
+		strings.Join(kloc.ExperimentNames(), ", "))
+	flag.PrintDefaults()
+}
+
+// printTraceSummary renders the per-event and per-context trace stats.
+func printTraceSummary(s kloc.TraceStats) {
+	fmt.Printf("  trace: emitted=%d dropped=%d (ring kept %d)\n",
+		s.Emitted, s.Dropped, s.Emitted-s.Dropped)
+	for _, nc := range s.ByName {
+		fmt.Printf("    %-24s %d\n", nc.Name, nc.Count)
+	}
+	if len(s.Contexts) > 0 {
+		fmt.Printf("  busiest KLOC contexts (events per %v window):\n", s.Window)
+		for _, c := range s.Contexts {
+			fmt.Printf("    ctx=%-6d total=%d windows=%v\n", c.Ctx, c.Total, c.Windows)
+		}
+	}
+}
+
+// writeTrace exports the tracer: Chrome trace-event JSON for .json
+// files, the text log otherwise.
+func writeTrace(t *kloc.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = t.WriteChrome(f)
+	} else {
+		err = t.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // resolveExperiments expands the -exp flag into experiment IDs: "all",
@@ -120,7 +197,15 @@ func resolveExperiments(exp string) ([]string, error) {
 	return names, nil
 }
 
+// fatal reports a runtime failure (exit 1). Flag-validation problems go
+// through usageError (exit 2) per Go CLI convention.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "klocbench:", err)
 	os.Exit(1)
+}
+
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "klocbench:", err)
+	fmt.Fprintln(os.Stderr, "run 'klocbench -h' for usage")
+	os.Exit(2)
 }

@@ -11,6 +11,7 @@ package blockdev
 import (
 	"kloc/internal/fault"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // Device is the storage device cost model. NVMe devices service
@@ -140,6 +141,10 @@ type MQ struct {
 	// DispatchCost is the per-request software overhead.
 	DispatchCost sim.Duration
 
+	// Trace, when non-nil, records one blockdev.dispatch event per
+	// request (the analog of block:block_rq_issue). Strictly passive.
+	Trace *trace.Tracer
+
 	// PerQueue counts dispatched requests by queue.
 	PerQueue []uint64
 	// Retries counts device-failed commands that were re-driven.
@@ -183,22 +188,32 @@ func (mq *MQ) Submit(cpu int, now sim.Time, bytes int, sequential, write bool) (
 	}
 	mq.PerQueue[q]++
 	var total sim.Duration
+	var err error
 	backoff := ioRetryBackoff
-	for attempt := 0; ; attempt++ {
+	attempts := 0
+	for {
+		attempts++
 		total += mq.DispatchCost
-		lat, err := mq.Dev.Submit(now.Add(total), bytes, sequential, write)
+		var lat sim.Duration
+		lat, err = mq.Dev.Submit(now.Add(total), bytes, sequential, write)
 		total += lat
 		if err == nil {
-			return total, nil
+			break
 		}
-		if attempt >= ioMaxRetries {
+		if attempts > ioMaxRetries {
 			mq.HardFailures++
-			return total, err
+			break
 		}
 		mq.Retries++
 		total += backoff
 		backoff *= 2
 	}
+	class := "read"
+	if write {
+		class = "write"
+	}
+	mq.Trace.Emit(trace.BlockDispatch, now, 0, uint64(attempts), class, q, int64(bytes))
+	return total, err
 }
 
 // Requests reports total dispatched requests.

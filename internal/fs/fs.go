@@ -20,6 +20,7 @@ import (
 	"kloc/internal/memsim"
 	"kloc/internal/pressure"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // Cost constants for FS code paths.
@@ -98,6 +99,11 @@ type FS struct {
 	// fallback, and journal commits run in atomic context so they can
 	// draw on the watermark reserve.
 	Pressure *pressure.Plane
+
+	// Trace, when non-nil, records alloc.slab / alloc.page / obj.free /
+	// fs.journal.commit events from the FS object paths. Strictly
+	// passive; nil disables tracing.
+	Trace *trace.Tracer
 
 	journalPending []journalOp
 	// durable is the committed metadata image — what a crash preserves
@@ -214,6 +220,11 @@ func (f *FS) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Objec
 		o = kobj.NewObject(id, t, frame, ctx.Now, func() { f.Pager.Free(frame) })
 		f.Hooks.PageAllocated(ctx, frame)
 	}
+	name := trace.AllocSlab
+	if t.Info().Alloc == kobj.AllocPage {
+		name = trace.AllocPage
+	}
+	f.Trace.Emit(name, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	f.Stats.ObjAllocs[t]++
 	f.Stats.ObjLive[t]++
 	// Initialization writes the new object's memory: allocation cost is
@@ -266,6 +277,11 @@ func (f *FS) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 	if o == nil {
 		return
 	}
+	node := -1
+	if o.Frame != nil {
+		node = int(o.Frame.Node)
+	}
+	f.Trace.Emit(trace.ObjFree, ctx.Now, o.Knode, uint64(o.ID), o.Type.String(), node, int64(o.Size))
 	f.Stats.ObjLive[o.Type]--
 	f.Hooks.ObjectFreed(ctx, o)
 	if o.Type.Info().Alloc == kobj.AllocPage && o.Frame != nil {

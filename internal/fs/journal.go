@@ -6,6 +6,7 @@ import (
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
+	"kloc/internal/trace"
 )
 
 // DefaultJournalMaxPending bounds the in-memory journal before a forced
@@ -103,6 +104,8 @@ func (f *FS) journalCommit(ctx *kstate.Ctx) error {
 		f.Stats.JournalCommitFails++
 		return err
 	}
+	f.Trace.Emit(trace.JournalCommit, ctx.Now, 0, uint64(len(f.journalPending)),
+		"commit", -1, int64(bytes))
 	for _, op := range f.journalPending {
 		f.applyDurable(op)
 		f.freeObj(ctx, op.obj)

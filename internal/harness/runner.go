@@ -1,6 +1,15 @@
 // Package harness drives measured simulation runs and regenerates the
 // paper's tables and figures (DESIGN.md §4 maps each experiment to its
 // function here).
+//
+// Run executes one measured run from a RunConfig — platform, policy,
+// workload, seed, duration, plus the optional planes (Fault, Pressure,
+// Trace) — with a warmup phase so policies are judged at steady state,
+// and returns a Result carrying the measured-window counters every
+// table is built from. Experiments maps the paper's figure/table names
+// to batch drivers over Run; Options trades fidelity for wall time
+// (quick mode). Determinism is inherited from the substrate: the same
+// RunConfig always yields the same Result.
 package harness
 
 import (
@@ -15,6 +24,7 @@ import (
 	"kloc/internal/policy"
 	"kloc/internal/pressure"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 	"kloc/internal/workload"
 )
 
@@ -79,6 +89,12 @@ type RunConfig struct {
 	// reclaim through the shrinker registry still works; only the
 	// reserve gate and kswapd stay disabled.
 	Pressure *pressure.Config
+
+	// Trace arms the tracepoint-analog observability plane for the run
+	// (OBSERVABILITY.md). The tracer attaches before workload setup —
+	// it is strictly passive, so setup stays bit-identical — and is
+	// returned on Result.Trace for export. Nil runs without tracing.
+	Trace *trace.Config
 }
 
 // Result is one run's outcome.
@@ -144,6 +160,14 @@ type Result struct {
 	Pressure      pressure.Stats
 	ReserveDips   uint64
 	ShrinkerStats []pressure.ShrinkerStat
+
+	// Trace is the run's armed tracer (nil when tracing was off);
+	// callers export it via WriteText / WriteChrome. TraceStats
+	// summarizes per-event-name totals and per-KLOC-context activity
+	// over virtual-time windows; it covers every emitted event even
+	// when the ring buffer dropped some.
+	Trace      *trace.Tracer
+	TraceStats trace.Stats
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -210,6 +234,15 @@ func Run(cfg RunConfig) (*Result, error) {
 			w = 0
 		}
 		k.FS.ReadaheadWindow = w
+	}
+	// Attach the tracer before setup: the plane is strictly passive, so
+	// a traced run is bit-identical to an untraced one, and setup-phase
+	// allocations (the long-lived object population) appear in the
+	// trace.
+	var tracer *trace.Tracer
+	if cfg.Trace != nil {
+		tracer = trace.New(*cfg.Trace)
+		k.AttachTracer(tracer)
 	}
 	root := sim.NewRNG(cfg.Seed)
 	if err := wl.Setup(k, root); err != nil {
@@ -322,6 +355,8 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.Pressure = k.Pressure.Stats
 	res.ReserveDips = k.Mem.Stats.ReserveDips
 	res.ShrinkerStats = k.Pressure.ShrinkerStats()
+	res.Trace = tracer
+	res.TraceStats = tracer.Stats()
 	return res, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"kloc/internal/netsim"
 	"kloc/internal/pressure"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // appIDBit distinguishes app-page frame IDs from kernel-object IDs in
@@ -57,6 +58,11 @@ type Kernel struct {
 	Pressure *pressure.Plane
 
 	Policy Policy
+
+	// Trace is the armed tracing plane (nil when tracing is off); see
+	// AttachTracer. Kernel-level events (app pages, oom.spill) emit
+	// through it directly.
+	Trace *trace.Tracer
 
 	// Lifetimes records object/page lifetimes by class (Fig 2d).
 	Lifetimes *metrics.LifetimeTracker
@@ -112,6 +118,21 @@ func (k *Kernel) InjectFaults(p *fault.Plane) {
 
 // FaultPlane returns the armed plane, if any.
 func (k *Kernel) FaultPlane() *fault.Plane { return k.Mem.Fault }
+
+// AttachTracer arms a tracing plane across every subsystem that emits
+// trace events: the filesystem and network object paths, the blk_mq
+// dispatch layer, the memory system's migrator, the pressure plane,
+// and the kernel's own app-page and OOM paths. The tracer is strictly
+// passive, so attaching (or passing nil to detach) never perturbs the
+// simulation.
+func (k *Kernel) AttachTracer(t *trace.Tracer) {
+	k.Trace = t
+	k.FS.Trace = t
+	k.Net.Trace = t
+	k.FS.MQ.Trace = t
+	k.Mem.Trace = t
+	k.Pressure.Trace = t
+}
 
 // Start launches the policy daemon (and, when configured, the kswapd
 // background reclaimer) on the engine.
@@ -186,6 +207,8 @@ func (k *Kernel) AppAlloc(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
 			return out, err
 		}
 		ctx.Charge(300) // page fault + zeroing fast path
+		k.Trace.Emit(trace.AllocPage, ctx.Now, 0, uint64(f.ID), "app",
+			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.appPages[f.ID] = f
 		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
 		k.Stats.AppPagesAllocated++
@@ -216,6 +239,8 @@ func (k *Kernel) AppAllocHuge(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
 			return out, err
 		}
 		ctx.Charge(1200) // huge-page fault: clearing + mapping
+		k.Trace.Emit(trace.AllocPage, ctx.Now, 0, uint64(f.ID), "app",
+			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.appPages[f.ID] = f
 		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
 		k.Stats.AppPagesAllocated += uint64(f.Pages())
@@ -242,6 +267,8 @@ func (k *Kernel) AppFree(ctx *kstate.Ctx, frames []*memsim.Frame) {
 			continue
 		}
 		delete(k.appPages, f.ID)
+		k.Trace.Emit(trace.ObjFree, ctx.Now, 0, uint64(f.ID), "app",
+			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.Lifetimes.Died(appIDBit|uint64(f.ID), "app", ctx.Now)
 		k.Policy.PageFreed(ctx, f)
 		k.Mem.Free(f)

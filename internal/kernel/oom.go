@@ -4,6 +4,7 @@ import (
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // oomFixedPerPage is the spill migration's per-page fixed cost
@@ -58,6 +59,8 @@ func (o *oomEvictor) EvictWorst(ctx *kstate.Ctx, node memsim.NodeID) int {
 	if freed < 0 {
 		freed = 0
 	}
+	k.Trace.Emit(trace.OOMSpill, ctx.Now, frames[0].Knode, uint64(len(frames)),
+		"spill", int(node), int64(freed))
 	return freed
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"kloc/internal/fault"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // PageSize is the simulated page size in bytes. The paper focuses on
@@ -218,6 +219,11 @@ type Memory struct {
 	// Fault, when non-nil, is consulted on every allocation and every
 	// batched migration. A nil plane injects nothing.
 	Fault *fault.Plane
+
+	// Trace, when non-nil, records memsim.migrate events for every
+	// batched frame move. The tracer is strictly passive; a nil tracer
+	// leaves runs bit-identical.
+	Trace *trace.Tracer
 
 	// l4 caches, indexed by socket; nil entries mean no cache.
 	l4 []*l4Cache
@@ -550,6 +556,8 @@ func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved, f
 		srcSeen[src] = struct{}{}
 		serial += d
 		moved++
+		mg.Mem.Trace.Emit(trace.Migrate, now, f.Knode, uint64(f.ID),
+			f.Class.String(), int(dst), int64(f.Pages()))
 	}
 	p := mg.Parallelism
 	if p < 1 {

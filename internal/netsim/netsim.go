@@ -17,6 +17,7 @@ import (
 	"kloc/internal/memsim"
 	"kloc/internal/pressure"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // Cost constants for the networking paths.
@@ -96,6 +97,10 @@ type Net struct {
 	// registry, and the ingress path runs in atomic context so it can
 	// draw on the watermark reserve (GFP_ATOMIC, as in a real driver).
 	Pressure *pressure.Plane
+
+	// Trace, when non-nil, records alloc.slab / alloc.page / obj.free /
+	// net.rx / net.tx events from the socket paths. Strictly passive.
+	Trace *trace.Tracer
 
 	Stats Stats
 }
@@ -185,6 +190,11 @@ func (n *Net) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Obje
 		o = kobj.NewObject(id, t, frame, ctx.Now, func() { n.Pager.Free(frame) })
 		n.Hooks.PageAllocated(ctx, frame)
 	}
+	name := trace.AllocSlab
+	if t.Info().Alloc == kobj.AllocPage {
+		name = trace.AllocPage
+	}
+	n.Trace.Emit(name, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	n.Stats.ObjAllocs[t]++
 	n.Stats.ObjLive[t]++
 	// Initialization writes the object's memory (tier-sensitive).
@@ -197,6 +207,11 @@ func (n *Net) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 	if o == nil {
 		return
 	}
+	node := -1
+	if o.Frame != nil {
+		node = int(o.Frame.Node)
+	}
+	n.Trace.Emit(trace.ObjFree, ctx.Now, o.Knode, uint64(o.ID), o.Type.String(), node, int64(o.Size))
 	n.Stats.ObjLive[o.Type]--
 	n.Hooks.ObjectFreed(ctx, o)
 	if o.Type.Info().Alloc == kobj.AllocPage && o.Frame != nil {
@@ -301,6 +316,7 @@ func (n *Net) Send(ctx *kstate.Ctx, s *Socket, bytes int) error {
 		n.touchObj(ctx, skb, 0, true)
 		n.touchObj(ctx, data, seg, true) // copy from user
 		ctx.Charge(nicPerPacket + sim.Duration(float64(seg)/nicBandwidth))
+		n.Trace.Emit(trace.NetTx, ctx.Now, s.Ino, uint64(skb.ID), "segment", -1, int64(seg))
 		n.Stats.PacketsTx++
 		n.Stats.BytesTx += uint64(seg)
 		n.freeObj(ctx, skb)
@@ -366,6 +382,8 @@ func (n *Net) Deliver(ctx *kstate.Ctx, s *Socket, bytes int) error {
 			n.Stats.DriverDemux++
 		}
 		s.rxQueue = append(s.rxQueue, p)
+		n.Trace.Emit(trace.NetRx, ctx.Now, s.Ino, uint64(skb.ID), "segment",
+			int(skb.Frame.Node), int64(seg))
 		n.Stats.PacketsRx++
 		n.Stats.BytesRx += uint64(seg)
 	}

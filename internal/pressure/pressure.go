@@ -21,6 +21,7 @@ import (
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 )
 
 // Shrinker is the Linux count_objects/scan_objects interface: Count
@@ -126,6 +127,10 @@ type Plane struct {
 	reclaiming bool
 	// kswapdOn remembers that StartKswapd armed the daemon.
 	kswapdOn bool
+
+	// Trace, when non-nil, records pressure.kswapd.wake and
+	// pressure.direct_reclaim events. Strictly passive.
+	Trace *trace.Tracer
 
 	Stats Stats
 }
@@ -298,6 +303,8 @@ func (p *Plane) DirectReclaim(ctx *kstate.Ctx) int {
 		freed += p.oomEvict(ctx)
 	}
 	p.Stats.DirectReclaimPages += uint64(freed)
+	p.Trace.Emit(trace.DirectReclaim, ctx.Now, 0, uint64(target), "reclaim",
+		int(p.Node), int64(freed))
 	return freed
 }
 
@@ -341,6 +348,7 @@ func (p *Plane) kswapdTick(ctx *kstate.Ctx) {
 		return
 	}
 	p.Stats.KswapdWakeups++
+	deficit := wm.High - node.Free()
 	p.reclaiming = true
 	exit := p.Mem.EnterAtomic()
 	defer func() {
@@ -371,4 +379,6 @@ func (p *Plane) kswapdTick(ctx *kstate.Ctx) {
 		freed += pages
 	}
 	p.Stats.KswapdPages += uint64(freed)
+	p.Trace.Emit(trace.KswapdWake, ctx.Now, 0, uint64(deficit), "kswapd",
+		int(p.Node), int64(freed))
 }

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes the buffered events as a human-readable log, one
+// event per line in a stable format:
+//
+//	seq at name ctx=<ino> obj=<id> class=<class> node=<node> size=<size>
+//
+// The header comment records the schema and the drop count so a reader
+// knows whether the ring wrapped. Output is byte-identical across
+// same-seed runs.
+func (t *Tracer) WriteText(w io.Writer) error {
+	events := t.Events()
+	if _, err := fmt.Fprintf(w,
+		"# kloc trace: events=%d buffered=%d dropped=%d\n"+
+			"# schema: seq at(ns) name ctx obj class node size\n",
+		t.Emitted(), len(events), t.Dropped()); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%d %d %s ctx=%d obj=%d class=%s node=%d size=%d\n",
+			e.Seq, int64(e.At), e.Name, e.Ctx, e.Obj, e.Class, e.Node, e.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TextString renders WriteText to a string (tests, small traces).
+func (t *Tracer) TextString() string {
+	var b strings.Builder
+	t.WriteText(&b) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+// WriteChrome writes the buffered events in the Chrome trace-event JSON
+// format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Every event becomes an instant event ("ph":"i") on pid 1 with the
+// KLOC context id as tid, so the viewer groups the timeline by context;
+// a thread_name metadata record labels each context row. Timestamps
+// are virtual microseconds (the format's unit), emitted with fixed
+// 3-digit precision so output is byte-identical across same-seed runs.
+//
+// The JSON is written by hand rather than via encoding/json to keep
+// field order and float formatting stable.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Context rows, labeled and sorted for determinism.
+	ctxs := make(map[uint64]bool)
+	for _, e := range events {
+		ctxs[e.Ctx] = true
+	}
+	ids := make([]uint64, 0, len(ctxs))
+	for c := range ctxs {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	first := true
+	for _, c := range ids {
+		label := fmt.Sprintf("kloc-ctx-%d", c)
+		if c == 0 {
+			label = "no-context"
+		}
+		if err := writeRecord(w, &first, fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`,
+			c, label)); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		ts := strconv.FormatFloat(float64(int64(e.At))/1000.0, 'f', 3, 64)
+		rec := fmt.Sprintf(
+			`{"name":%q,"cat":"kloc","ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,`+
+				`"args":{"seq":%d,"ctx":%d,"obj":%d,"class":%q,"node":%d,"size":%d}}`,
+			string(e.Name), ts, e.Ctx, e.Seq, e.Ctx, e.Obj, e.Class, e.Node, e.Size)
+		if err := writeRecord(w, &first, rec); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"emitted\":\"%d\",\"dropped\":\"%d\"}}\n",
+		t.Emitted(), t.Dropped())
+	return err
+}
+
+func writeRecord(w io.Writer, first *bool, rec string) error {
+	sep := ",\n"
+	if *first {
+		sep = ""
+		*first = false
+	}
+	_, err := io.WriteString(w, sep+rec)
+	return err
+}

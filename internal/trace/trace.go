@@ -1,0 +1,332 @@
+// Package trace is the simulator's tracepoint-analog observability
+// plane. The paper's characterization figures (Fig 2's footprints and
+// lifetimes, Fig 4/5's placement and migration behaviour) were produced
+// by instrumenting Linux allocation sites; this package gives the
+// simulation the same first-class lens. Each subsystem declares named
+// trace events — the analog of Linux tracepoints like kmem:kmalloc or
+// block:block_rq_issue — and emits them from the code path that models
+// the corresponding kernel site, carrying the virtual timestamp, the
+// KLOC context (inode/socket number), the object class, the memory
+// node/tier, and a size.
+//
+// Events land in a bounded ring buffer (like ftrace's per-CPU rings):
+// memory stays fixed no matter how long the run is, and once the ring
+// wraps the oldest events are overwritten and counted as dropped.
+// Independent of the ring, the tracer keeps incremental per-event-name
+// and per-context counters bucketed into virtual-time windows, so
+// summary statistics cover the whole run even after drops.
+//
+// Like the fault and pressure planes, the tracer is nil-safe: every
+// subsystem holds a possibly-nil *Tracer and calls Emit
+// unconditionally. The plane is strictly passive — emitting charges no
+// virtual cost and draws no randomness — so a run with tracing
+// disabled (or enabled) is bit-identical to a run with no tracer at
+// all, and two same-seed runs produce byte-identical trace files.
+//
+// The event catalog, field semantics, and export formats are documented
+// in OBSERVABILITY.md; DESIGN.md §9 covers the model.
+package trace
+
+import (
+	"path"
+	"sort"
+
+	"kloc/internal/sim"
+)
+
+// Name identifies one trace event type, dotted subsystem-first like a
+// Linux tracepoint ("alloc.slab" ~ kmem:kmalloc).
+type Name string
+
+// The trace event catalog. Emitting sites and field semantics are
+// documented per event in OBSERVABILITY.md.
+const (
+	// AllocSlab: a slab-class kernel object was allocated (fs, netsim).
+	AllocSlab Name = "alloc.slab"
+	// AllocPage: a page-class allocation — page-cache/driver-buffer
+	// kernel objects (fs, netsim) or application pages (kernel).
+	AllocPage Name = "alloc.page"
+	// ObjFree: a kernel object or application page was freed.
+	ObjFree Name = "obj.free"
+	// JournalCommit: the filesystem journal committed a transaction.
+	JournalCommit Name = "fs.journal.commit"
+	// BlockDispatch: the blk_mq layer dispatched a storage command.
+	BlockDispatch Name = "blockdev.dispatch"
+	// Migrate: one page frame moved between memory nodes.
+	Migrate Name = "memsim.migrate"
+	// NetRx: one ingress segment was delivered to a socket backlog.
+	NetRx Name = "net.rx"
+	// NetTx: one egress segment left through the NIC.
+	NetTx Name = "net.tx"
+	// KswapdWake: the background reclaimer woke below the low watermark.
+	KswapdWake Name = "pressure.kswapd.wake"
+	// DirectReclaim: an allocation slow path entered direct reclaim.
+	DirectReclaim Name = "pressure.direct_reclaim"
+	// OOMSpill: the OOM-grade degradation path evicted a KLOC context.
+	OOMSpill Name = "oom.spill"
+)
+
+// Names lists the catalog in stable (documentation) order.
+func Names() []Name {
+	return []Name{AllocSlab, AllocPage, ObjFree, JournalCommit, BlockDispatch,
+		Migrate, NetRx, NetTx, KswapdWake, DirectReclaim, OOMSpill}
+}
+
+// Event is one emitted trace record.
+type Event struct {
+	// Seq is the event's global emission sequence number (0-based,
+	// counted across drops — the ring may no longer hold earlier Seqs).
+	Seq uint64
+	// At is the virtual time of emission.
+	At sim.Time
+	// Name is the catalog event name.
+	Name Name
+	// Ctx is the KLOC context — the owning file or socket inode number
+	// (0 = no context / not yet associated).
+	Ctx uint64
+	// Obj is an event-specific identifier: the kernel-object or frame
+	// ID for allocation/free/migration events, the attempt count for
+	// block dispatches, the reclaim target for pressure events.
+	Obj uint64
+	// Class is the event-specific object class ("dentry", "app",
+	// "read", "write", ...).
+	Class string
+	// Node is the memory node / tier the event concerns (-1 = none;
+	// the software queue index for block dispatches).
+	Node int
+	// Size is the event's payload size — bytes for allocations and
+	// I/O, pages for migration and reclaim events.
+	Size int64
+}
+
+// Config arms a Tracer. The zero value enables the full catalog with
+// default buffer and window sizes.
+type Config struct {
+	// BufferEvents bounds the ring buffer (default 65536 events).
+	// Older events are overwritten — and counted as dropped — once the
+	// ring wraps.
+	BufferEvents int
+	// Events enables only the event names matching at least one
+	// pattern ("alloc.slab", "alloc.*", "pressure.*"). Empty enables
+	// everything. Patterns use path.Match syntax over the dotted name.
+	Events []string
+	// SummaryWindow is the virtual-time bucket for per-context summary
+	// counts (default 10 ms).
+	SummaryWindow sim.Duration
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultBufferEvents  = 1 << 16
+	DefaultSummaryWindow = 10 * sim.Millisecond
+	// maxSummaryWindows bounds per-context window slices; events past
+	// the last window accumulate there (a run longer than
+	// SummaryWindow × maxSummaryWindows keeps bounded memory).
+	maxSummaryWindows = 1 << 12
+	// maxStatsContexts bounds the contexts a Stats report carries.
+	maxStatsContexts = 16
+)
+
+// ctxStat is one context's incremental accounting.
+type ctxStat struct {
+	total   uint64
+	windows []uint64
+}
+
+// Tracer is an armed tracing plane. A nil *Tracer is valid and records
+// nothing, so subsystems hold a possibly-nil Tracer and call Emit
+// unconditionally — the same discipline as fault.Plane.
+type Tracer struct {
+	cfg Config
+	// enabled memoizes pattern matching per name.
+	enabled map[Name]bool
+
+	ring []Event
+	// next is the ring write index; filled counts live entries.
+	next, filled int
+	seq, dropped uint64
+
+	byName map[Name]uint64
+	byCtx  map[uint64]*ctxStat
+}
+
+// New arms a tracer from a config.
+func New(cfg Config) *Tracer {
+	if cfg.BufferEvents <= 0 {
+		cfg.BufferEvents = DefaultBufferEvents
+	}
+	if cfg.SummaryWindow <= 0 {
+		cfg.SummaryWindow = DefaultSummaryWindow
+	}
+	return &Tracer{
+		cfg:     cfg,
+		enabled: make(map[Name]bool),
+		ring:    make([]Event, 0, cfg.BufferEvents),
+		byName:  make(map[Name]uint64),
+		byCtx:   make(map[uint64]*ctxStat),
+	}
+}
+
+// Enabled reports whether events of the given name are recorded.
+// Nil-safe: a nil tracer records nothing.
+func (t *Tracer) Enabled(name Name) bool {
+	if t == nil {
+		return false
+	}
+	on, ok := t.enabled[name]
+	if !ok {
+		on = matchAny(t.cfg.Events, string(name))
+		t.enabled[name] = on
+	}
+	return on
+}
+
+// matchAny reports whether s matches at least one pattern (empty
+// pattern set matches everything). Malformed patterns fall back to
+// literal comparison.
+func matchAny(patterns []string, s string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if ok, err := path.Match(p, s); err == nil && ok {
+			return true
+		} else if err != nil && p == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit records one event. Nil-safe and strictly passive: no virtual
+// cost, no randomness, no observable effect on the simulation.
+func (t *Tracer) Emit(name Name, at sim.Time, ctx, obj uint64, class string, node int, size int64) {
+	if !t.Enabled(name) {
+		return
+	}
+	e := Event{Seq: t.seq, At: at, Name: name, Ctx: ctx, Obj: obj,
+		Class: class, Node: node, Size: size}
+	t.seq++
+
+	// Ring: grow until capacity, then overwrite oldest (counted as a
+	// drop, like ftrace's overwrite mode).
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		t.filled++
+	} else {
+		t.ring[t.next] = e
+		t.dropped++
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+
+	// Incremental summaries survive ring drops.
+	t.byName[name]++
+	cs := t.byCtx[ctx]
+	if cs == nil {
+		cs = &ctxStat{}
+		t.byCtx[ctx] = cs
+	}
+	cs.total++
+	w := int(at / sim.Time(t.cfg.SummaryWindow))
+	if w >= maxSummaryWindows {
+		w = maxSummaryWindows - 1
+	}
+	for len(cs.windows) <= w {
+		cs.windows = append(cs.windows, 0)
+	}
+	cs.windows[w]++
+}
+
+// Emitted reports the total events recorded (including dropped ones).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq
+}
+
+// Dropped reports events overwritten after the ring wrapped.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the buffered events oldest-first. The slice is a copy;
+// mutating it does not disturb the ring.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.filled == 0 {
+		return nil
+	}
+	out := make([]Event, 0, t.filled)
+	start := 0
+	if t.filled == cap(t.ring) {
+		start = t.next
+	}
+	for i := 0; i < t.filled; i++ {
+		out = append(out, t.ring[(start+i)%cap(t.ring)])
+	}
+	return out
+}
+
+// NameCount is one event name's total.
+type NameCount struct {
+	Name  Name
+	Count uint64
+}
+
+// ContextSummary is one KLOC context's event activity over the run.
+type ContextSummary struct {
+	// Ctx is the context id (inode/socket number; 0 = unattributed).
+	Ctx uint64
+	// Total counts every event emitted against the context.
+	Total uint64
+	// Windows counts events per SummaryWindow slice of virtual time,
+	// starting at time zero.
+	Windows []uint64
+}
+
+// Stats is the tracer's run summary: totals per event name and the
+// most active KLOC contexts bucketed into virtual-time windows. It is
+// computed from incremental counters, so it covers every emitted event
+// even when the ring dropped some.
+type Stats struct {
+	Emitted, Dropped uint64
+	// Window is the virtual-time bucket width for context windows.
+	Window sim.Duration
+	// ByName lists per-event-name totals in catalog-name order.
+	ByName []NameCount
+	// Contexts lists the most active contexts, busiest first (ties
+	// break toward the lower context id), capped at 16 entries.
+	Contexts []ContextSummary
+}
+
+// Stats summarizes the run so far. Deterministic: sorted output,
+// independent of map iteration order.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	s := Stats{Emitted: t.seq, Dropped: t.dropped, Window: t.cfg.SummaryWindow}
+	for name, n := range t.byName {
+		s.ByName = append(s.ByName, NameCount{Name: name, Count: n})
+	}
+	sort.Slice(s.ByName, func(i, j int) bool { return s.ByName[i].Name < s.ByName[j].Name })
+	for ctx, cs := range t.byCtx {
+		s.Contexts = append(s.Contexts, ContextSummary{
+			Ctx: ctx, Total: cs.total,
+			Windows: append([]uint64(nil), cs.windows...),
+		})
+	}
+	sort.Slice(s.Contexts, func(i, j int) bool {
+		if s.Contexts[i].Total != s.Contexts[j].Total {
+			return s.Contexts[i].Total > s.Contexts[j].Total
+		}
+		return s.Contexts[i].Ctx < s.Contexts[j].Ctx
+	})
+	if len(s.Contexts) > maxStatsContexts {
+		s.Contexts = s.Contexts[:maxStatsContexts]
+	}
+	return s
+}

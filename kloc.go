@@ -45,6 +45,7 @@ import (
 	"kloc/internal/policy"
 	"kloc/internal/pressure"
 	"kloc/internal/sim"
+	"kloc/internal/trace"
 	"kloc/internal/workload"
 )
 
@@ -214,6 +215,32 @@ type (
 func DeriveWatermarks(capacityPages int) Watermarks {
 	return memsim.DeriveWatermarks(capacityPages)
 }
+
+// Tracing (the tracepoint-analog observability plane; DESIGN.md §9,
+// OBSERVABILITY.md).
+type (
+	// TraceConfig arms the tracing plane for a run (RunConfig.Trace):
+	// ring-buffer size, enabled event-name patterns, and the summary
+	// window width.
+	TraceConfig = trace.Config
+	// Tracer is an armed tracing plane; Result.Trace carries the run's
+	// tracer for export via WriteText / WriteChrome.
+	Tracer = trace.Tracer
+	// TraceEvent is one emitted trace record.
+	TraceEvent = trace.Event
+	// TraceEventName names a catalog event ("alloc.slab", ...).
+	TraceEventName = trace.Name
+	// TraceStats summarizes a run's trace: per-event-name totals and
+	// per-KLOC-context activity over virtual-time windows.
+	TraceStats = trace.Stats
+)
+
+// NewTracer arms a standalone tracer (harness users get one implicitly
+// through RunConfig.Trace).
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// TraceEventNames lists the event catalog in documentation order.
+func TraceEventNames() []TraceEventName { return trace.Names() }
 
 // Workloads (Table 3).
 type (
