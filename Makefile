@@ -2,12 +2,18 @@
 # keep `make verify` green before merging.
 GO ?= go
 
-.PHONY: verify vet build test race bench eval evalfull
+.PHONY: verify vet lint build test race bench eval evalfull
 
-verify: vet build race
+verify: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own invariant-enforcing analyzers (kloclint):
+# determinism hygiene, errno discipline, trace-name catalog membership,
+# alloc/free pairing. See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/kloclint
 
 build:
 	$(GO) build ./...

@@ -11,8 +11,10 @@
 //	klocbench -exp fig4 -quick          # reduced duration
 //	klocbench -run -policy klocs -workload rocksdb   # one raw run
 //	klocbench -run -trace run.json      # raw run + Chrome trace export
+//	klocbench -run -sanitize            # raw run + KASAN/kmemleak report
 //
-// Flag-parse and flag-validation errors exit 2; runtime errors exit 1.
+// Flag-parse and flag-validation errors exit 2; runtime errors exit 1;
+// -sanitize findings exit 1 too (a dirty report is a failed run).
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 
 		traceFile   = flag.String("trace", "", "with -run: write the run's trace to this file (.json = Chrome trace-event format, else text; see OBSERVABILITY.md)")
 		traceEvents = flag.String("trace-events", "", "comma-separated event-name patterns to trace (\"alloc.*,oom.spill\"); empty traces the full catalog")
+		sanitize    = flag.Bool("sanitize", false, "with -run: arm the KASAN/kmemleak-analog sanitizer; findings fail the run (exit 1)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -59,6 +62,9 @@ func main() {
 	if !*rawRun && (*traceFile != "" || *traceEvents != "") {
 		usageError(fmt.Errorf("-trace/-trace-events require -run (experiments aggregate many runs; trace one of them instead)"))
 	}
+	if !*rawRun && *sanitize {
+		usageError(fmt.Errorf("-sanitize requires -run (experiments aggregate many runs; sanitize one of them instead)"))
+	}
 
 	if *rawRun {
 		cfg := kloc.RunConfig{
@@ -72,6 +78,7 @@ func main() {
 			cfg.Platform = kloc.Optane
 			cfg.MoveTaskAtFrac = 0.1
 		}
+		cfg.Sanitize = *sanitize
 		if *traceFile != "" {
 			tc := kloc.TraceConfig{}
 			if *traceEvents != "" {
@@ -103,6 +110,13 @@ func main() {
 			}
 			fmt.Printf("  trace written to %s\n", *traceFile)
 		}
+		if res.Sanitize != nil {
+			fmt.Print("  " + strings.ReplaceAll(strings.TrimSuffix(res.Sanitize.String(), "\n"), "\n", "\n  ") + "\n")
+			if !res.Sanitize.Clean() {
+				fatal(fmt.Errorf("sanitizer reported %d findings and %d leaks",
+					res.Sanitize.TotalFindings, res.Sanitize.TotalLeaks))
+			}
+		}
 		return
 	}
 
@@ -127,7 +141,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
 		"usage: klocbench -exp <id>[,<id>...] [-quick] [-duration-ms N] [-seed N] [-scale N]\n"+
-			"       klocbench -run [-policy P] [-workload W] [-optane] [-trace FILE [-trace-events GLOBS]]\n\n"+
+			"       klocbench -run [-policy P] [-workload W] [-optane] [-sanitize] [-trace FILE [-trace-events GLOBS]]\n\n"+
 			"experiments: %s (or 'all')\n\nflags:\n",
 		strings.Join(kloc.ExperimentNames(), ", "))
 	flag.PrintDefaults()

@@ -50,6 +50,27 @@ func TestResolveExperimentsUnknownListsValid(t *testing.T) {
 	}
 }
 
+// TestSanitizedRunSmoke drives a -sanitize raw run through the same
+// library call main makes and checks the report comes back clean.
+func TestSanitizedRunSmoke(t *testing.T) {
+	res, err := kloc.Run(kloc.RunConfig{
+		PolicyName: "klocs", Workload: "rocksdb",
+		Duration: 5 * kloc.Millisecond, Sanitize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sanitize == nil {
+		t.Fatal("no sanitizer report on a -sanitize run")
+	}
+	if !res.Sanitize.Clean() {
+		t.Fatalf("sanitizer dirty:\n%s", res.Sanitize)
+	}
+	if !strings.Contains(res.Sanitize.String(), "sanitizer:") {
+		t.Fatalf("report rendering: %q", res.Sanitize.String())
+	}
+}
+
 // TestExperimentSmoke drives one real experiment end to end through
 // the same entry point main uses, at a tiny scale.
 func TestExperimentSmoke(t *testing.T) {

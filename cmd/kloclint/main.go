@@ -1,0 +1,172 @@
+// Command kloclint is the multichecker for the simulator's
+// invariant-enforcing analyzer suite (internal/analysis): the
+// checkpatch/sparse analog run by `make lint` and CI. It type-checks
+// every lintable package of the module — the root package, cmd/...,
+// internal/..., and examples/... — and applies the four analyzers:
+//
+//	nodeterminism  no wall-clock time, ambient randomness, or escaping
+//	               map-iteration order
+//	errnocheck     no discarded errno-style error returns
+//	tracenames     Tracer.Emit names come from the registered catalog
+//	allocpair      alloc entry points have matching teardown paths
+//
+// Usage:
+//
+//	kloclint              # lint the whole module
+//	kloclint -list        # show the analyzer suite
+//	kloclint -only errnocheck,tracenames
+//	kloclint internal/fs internal/netsim   # specific package dirs
+//
+// Exit status: 0 clean, 1 diagnostics (or load failures), 2 flag and
+// usage errors — the same convention as klocbench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kloc/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list the analyzer suite and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		usageError(err)
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	targets, err := resolveTargets(loader, flag.Args())
+	if err != nil {
+		usageError(err)
+	}
+
+	exit := 0
+	for _, t := range targets {
+		pkg, err := loader.Load(t.Dir, t.ImportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kloclint:", err)
+			exit = 1
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kloclint:", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(rel(loader.ModuleDir, d))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// rel shortens a diagnostic's filename to be module-relative.
+func rel(root string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+// selectAnalyzers resolves -only against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers (valid: %s)", strings.Join(names, ", "))
+	}
+	return out, nil
+}
+
+// resolveTargets turns the positional arguments (package directories
+// relative to the module root or the working directory) into load
+// targets; with no arguments the whole module is linted.
+func resolveTargets(loader *analysis.Loader, args []string) ([]analysis.Target, error) {
+	if len(args) == 0 {
+		return analysis.ModuleTargets(loader.ModuleDir, loader.ModulePath)
+	}
+	var out []analysis.Target
+	for _, arg := range args {
+		dir := arg
+		if !filepath.IsAbs(dir) {
+			if _, err := os.Stat(dir); err != nil {
+				dir = filepath.Join(loader.ModuleDir, arg)
+			}
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.ModuleDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %s is outside the module", arg)
+		}
+		ip := loader.ModulePath
+		if rel != "." {
+			ip = loader.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		out = append(out, analysis.Target{Dir: abs, ImportPath: ip})
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: kloclint [-list] [-only a,b] [package-dir ...]\n\n"+
+			"Lints the module's packages with the invariant analyzer suite\n"+
+			"(see internal/analysis and DESIGN.md §10). With no package\n"+
+			"directories the whole module is linted.\n\nflags:\n")
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kloclint:", err)
+	os.Exit(1)
+}
+
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "kloclint:", err)
+	fmt.Fprintln(os.Stderr, "run 'kloclint -h' for usage")
+	os.Exit(2)
+}

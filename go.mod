@@ -1,3 +1,12 @@
 module kloc
 
+// Zero dependencies, deliberately: determinism and offline
+// reproducibility are the repo's load-bearing properties. In
+// particular, cmd/kloclint does NOT pin golang.org/x/tools —
+// internal/analysis re-implements the small slice of the go/analysis
+// API it needs (Analyzer/Pass/Diagnostic, a source-level loader, and
+// `// want` fixture checking) on the standard library's go/ast,
+// go/types, and go/importer, so the linter builds and runs with no
+// module downloads.
+
 go 1.22

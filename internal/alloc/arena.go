@@ -107,6 +107,7 @@ func (a *Arena) LiveObjects() int {
 // used when association happens after allocation (late demux).
 func (a *Arena) SetOwner(owner uint64) {
 	a.Owner = owner
+	//klocs:unordered every iteration stamps the same owner onto a distinct frame
 	for _, af := range a.frames {
 		af.frame.Knode = owner
 	}

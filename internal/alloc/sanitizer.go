@@ -1,0 +1,291 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kloc/internal/sim"
+)
+
+// Sanitizer is the runtime complement of the kloclint analyzers: a
+// KASAN/kmemleak analog over the simulated allocators. Subsystems
+// report every allocation, free, and object access to it; the
+// sanitizer keeps freed IDs in a poison quarantine to catch double
+// frees and use-after-free accesses as they happen, and at teardown
+// runs a kmemleak-style reachability scan — the kernel marks every
+// object still referenced from its roots (inodes, journal, sockets,
+// app page tables) and whatever live object goes unmarked is a leak,
+// reported grouped by KLOC context.
+//
+// A nil *Sanitizer is valid and inert: every method no-ops, so
+// subsystems call unconditionally (the fault/trace plane discipline).
+// The sanitizer is strictly passive — it never charges virtual time,
+// draws randomness, or touches simulation state — so a sanitized run
+// is bit-identical to an unsanitized one at the same seed.
+type Sanitizer struct {
+	live  map[uint64]*sanObject
+	freed map[uint64]*sanObject
+	// fifo bounds the quarantine: oldest freed IDs are forgotten first,
+	// like KASAN's quarantine recycling.
+	fifo     []uint64
+	findings []SanFinding
+	total    int
+	reached  map[uint64]bool
+}
+
+// sanObject is the tracked metadata of one allocation.
+type sanObject struct {
+	id    uint64
+	class string
+	ctx   uint64
+	size  int64
+	born  sim.Time
+	freed sim.Time
+}
+
+// sanQuarantine bounds the freed-ID poison set.
+const sanQuarantine = 1 << 16
+
+// sanMaxFindings bounds the per-kind finding lists; totals keep
+// counting past the cap.
+const sanMaxFindings = 256
+
+// NewSanitizer returns an armed sanitizer.
+func NewSanitizer() *Sanitizer {
+	return &Sanitizer{
+		live:  make(map[uint64]*sanObject),
+		freed: make(map[uint64]*sanObject),
+	}
+}
+
+// SanKind classifies a finding.
+type SanKind uint8
+
+// Finding kinds.
+const (
+	SanDoubleFree SanKind = iota
+	SanUseAfterFree
+	SanLeak
+)
+
+func (k SanKind) String() string {
+	switch k {
+	case SanDoubleFree:
+		return "double-free"
+	case SanUseAfterFree:
+		return "use-after-free"
+	default:
+		return "leak"
+	}
+}
+
+// SanFinding is one detected violation.
+type SanFinding struct {
+	Kind SanKind
+	// ID is the object ID (app pages carry the high app bit).
+	ID uint64
+	// Class is the object's type/class string as traced.
+	Class string
+	// Ctx is the object's KLOC context (inode/knode; 0 = unassociated).
+	Ctx uint64
+	// Size in bytes.
+	Size int64
+	// At is the virtual time of detection (teardown time for leaks).
+	At sim.Time
+	// Born is the allocation time; Freed the original free time for
+	// double-free and use-after-free findings.
+	Born  sim.Time
+	Freed sim.Time
+}
+
+func (f SanFinding) String() string {
+	switch f.Kind {
+	case SanLeak:
+		return fmt.Sprintf("%s: obj=%d class=%s ctx=%d size=%d born=%d", f.Kind, f.ID, f.Class, f.Ctx, f.Size, int64(f.Born))
+	default:
+		return fmt.Sprintf("%s: obj=%d class=%s ctx=%d size=%d at=%d first-freed=%d", f.Kind, f.ID, f.Class, f.Ctx, f.Size, int64(f.At), int64(f.Freed))
+	}
+}
+
+// LeakGroup aggregates leaked objects sharing a KLOC context.
+type LeakGroup struct {
+	Ctx   uint64
+	Count int
+	Bytes int64
+}
+
+// SanReport is the end-of-run sanitizer summary.
+type SanReport struct {
+	// Findings holds the double-free and use-after-free events in
+	// detection order, capped at sanMaxFindings; TotalFindings keeps
+	// the uncapped count.
+	Findings      []SanFinding
+	TotalFindings int
+	// Leaks lists objects live but unreachable at teardown, sorted by
+	// context then ID, capped like Findings.
+	Leaks      []SanFinding
+	TotalLeaks int
+	LeakBytes  int64
+	// LeakGroups aggregates the leaks per KLOC context (ascending).
+	LeakGroups []LeakGroup
+	// TrackedLive counts all objects live at teardown, reachable or
+	// not.
+	TrackedLive int
+}
+
+// Clean reports whether the run had no findings of any kind.
+func (r *SanReport) Clean() bool {
+	return r == nil || (r.TotalFindings == 0 && r.TotalLeaks == 0)
+}
+
+// String renders the report in the trace plane's text style.
+func (r *SanReport) String() string {
+	if r == nil {
+		return "sanitizer: not armed\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sanitizer: %d findings, %d leaked objects (%d bytes), %d live at teardown\n",
+		r.TotalFindings, r.TotalLeaks, r.LeakBytes, r.TrackedLive)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	if r.TotalFindings > len(r.Findings) {
+		fmt.Fprintf(&b, "  ... %d more findings\n", r.TotalFindings-len(r.Findings))
+	}
+	for _, g := range r.LeakGroups {
+		fmt.Fprintf(&b, "  leak-group: ctx=%d count=%d bytes=%d\n", g.Ctx, g.Count, g.Bytes)
+	}
+	for _, f := range r.Leaks {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	if r.TotalLeaks > len(r.Leaks) {
+		fmt.Fprintf(&b, "  ... %d more leaks\n", r.TotalLeaks-len(r.Leaks))
+	}
+	return b.String()
+}
+
+// TrackAlloc records an allocation. Class and ctx mirror what the
+// trace plane would emit for the object.
+func (s *Sanitizer) TrackAlloc(id uint64, class string, ctx uint64, size int64, at sim.Time) {
+	if s == nil {
+		return
+	}
+	// Reallocation of a quarantined ID would be an allocator bug; the
+	// simulator's ID generators are monotonic, so simply un-poison.
+	delete(s.freed, id)
+	s.live[id] = &sanObject{id: id, class: class, ctx: ctx, size: size, born: at}
+}
+
+// Associate updates the object's KLOC context after late demux.
+func (s *Sanitizer) Associate(id, ctx uint64) {
+	if s == nil {
+		return
+	}
+	if o, ok := s.live[id]; ok {
+		o.ctx = ctx
+	}
+}
+
+// TrackFree records a free, detecting double frees against the poison
+// quarantine.
+func (s *Sanitizer) TrackFree(id uint64, at sim.Time) {
+	if s == nil {
+		return
+	}
+	if o, ok := s.freed[id]; ok {
+		s.report(SanFinding{Kind: SanDoubleFree, ID: id, Class: o.class, Ctx: o.ctx,
+			Size: o.size, At: at, Born: o.born, Freed: o.freed})
+		return
+	}
+	o, ok := s.live[id]
+	if !ok {
+		// Unknown ID: allocated before the sanitizer attached (or
+		// quarantine already recycled it). Nothing to check.
+		return
+	}
+	delete(s.live, id)
+	o.freed = at
+	s.freed[id] = o
+	s.fifo = append(s.fifo, id)
+	if len(s.fifo) > sanQuarantine {
+		delete(s.freed, s.fifo[0])
+		s.fifo = s.fifo[1:]
+	}
+}
+
+// CheckAccess flags accesses to quarantined (freed) objects.
+func (s *Sanitizer) CheckAccess(id uint64, at sim.Time) {
+	if s == nil {
+		return
+	}
+	if o, ok := s.freed[id]; ok {
+		s.report(SanFinding{Kind: SanUseAfterFree, ID: id, Class: o.class, Ctx: o.ctx,
+			Size: o.size, At: at, Born: o.born, Freed: o.freed})
+	}
+}
+
+func (s *Sanitizer) report(f SanFinding) {
+	s.total++
+	if len(s.findings) < sanMaxFindings {
+		s.findings = append(s.findings, f)
+	}
+}
+
+// BeginScan starts a kmemleak-style reachability scan: the owner marks
+// every object reachable from its roots, then calls Report.
+func (s *Sanitizer) BeginScan() {
+	if s == nil {
+		return
+	}
+	s.reached = make(map[uint64]bool, len(s.live))
+}
+
+// MarkReachable marks one live object as referenced from a root.
+func (s *Sanitizer) MarkReachable(id uint64) {
+	if s == nil || s.reached == nil {
+		return
+	}
+	s.reached[id] = true
+}
+
+// Report closes the scan: every live object not marked reachable is a
+// leak. The report is deterministic — leaks sort by context then ID.
+func (s *Sanitizer) Report(at sim.Time) *SanReport {
+	if s == nil {
+		return nil
+	}
+	r := &SanReport{
+		Findings:      s.findings,
+		TotalFindings: s.total,
+		TrackedLive:   len(s.live),
+	}
+	var leaked []*sanObject
+	for id, o := range s.live {
+		if !s.reached[id] {
+			leaked = append(leaked, o)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		if leaked[i].ctx != leaked[j].ctx {
+			return leaked[i].ctx < leaked[j].ctx
+		}
+		return leaked[i].id < leaked[j].id
+	})
+	for _, o := range leaked {
+		r.TotalLeaks++
+		r.LeakBytes += o.size
+		if len(r.LeakGroups) == 0 || r.LeakGroups[len(r.LeakGroups)-1].Ctx != o.ctx {
+			r.LeakGroups = append(r.LeakGroups, LeakGroup{Ctx: o.ctx})
+		}
+		g := &r.LeakGroups[len(r.LeakGroups)-1]
+		g.Count++
+		g.Bytes += o.size
+		if len(r.Leaks) < sanMaxFindings {
+			r.Leaks = append(r.Leaks, SanFinding{Kind: SanLeak, ID: o.id, Class: o.class,
+				Ctx: o.ctx, Size: o.size, At: at, Born: o.born})
+		}
+	}
+	s.reached = nil
+	return r
+}

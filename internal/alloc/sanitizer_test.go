@@ -1,0 +1,167 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+
+	"kloc/internal/sim"
+)
+
+func TestSanitizerDoubleFree(t *testing.T) {
+	s := NewSanitizer()
+	s.TrackAlloc(1, "slab", 10, 64, 0)
+	s.TrackFree(1, 5)
+	s.TrackFree(1, 9)
+	s.BeginScan()
+	r := s.Report(10)
+	if r.Clean() {
+		t.Fatal("double free not reported")
+	}
+	if r.TotalFindings != 1 {
+		t.Fatalf("TotalFindings = %d, want 1", r.TotalFindings)
+	}
+	f := r.Findings[0]
+	if f.Kind != SanDoubleFree || f.ID != 1 || f.Ctx != 10 || f.At != 9 || f.Freed != 5 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if !strings.Contains(f.String(), "double-free") {
+		t.Fatalf("String() = %q", f.String())
+	}
+}
+
+func TestSanitizerUseAfterFree(t *testing.T) {
+	s := NewSanitizer()
+	s.TrackAlloc(7, "cache", 3, 4096, 1)
+	s.CheckAccess(7, 2) // live: fine
+	s.TrackFree(7, 4)
+	s.CheckAccess(7, 6)
+	s.BeginScan()
+	r := s.Report(10)
+	if r.TotalFindings != 1 {
+		t.Fatalf("TotalFindings = %d, want 1", r.TotalFindings)
+	}
+	f := r.Findings[0]
+	if f.Kind != SanUseAfterFree || f.ID != 7 || f.Class != "cache" || f.At != 6 || f.Freed != 4 {
+		t.Fatalf("finding = %+v", f)
+	}
+}
+
+func TestSanitizerLeakGrouping(t *testing.T) {
+	s := NewSanitizer()
+	// Two leaks in ctx 5, one in ctx 2, one reachable object, one freed.
+	s.TrackAlloc(1, "slab", 5, 100, 0)
+	s.TrackAlloc(2, "slab", 5, 200, 0)
+	s.TrackAlloc(3, "cache", 2, 50, 0)
+	s.TrackAlloc(4, "slab", 9, 10, 0)
+	s.TrackAlloc(5, "slab", 9, 10, 0)
+	s.TrackFree(5, 1)
+	s.BeginScan()
+	s.MarkReachable(4)
+	r := s.Report(10)
+	if r.TotalLeaks != 3 || r.LeakBytes != 350 {
+		t.Fatalf("TotalLeaks = %d LeakBytes = %d, want 3/350", r.TotalLeaks, r.LeakBytes)
+	}
+	if r.TrackedLive != 4 {
+		t.Fatalf("TrackedLive = %d, want 4", r.TrackedLive)
+	}
+	// Sorted by ctx then ID: ctx 2 first, then ctx 5 (IDs 1, 2).
+	wantIDs := []uint64{3, 1, 2}
+	for i, f := range r.Leaks {
+		if f.Kind != SanLeak || f.ID != wantIDs[i] {
+			t.Fatalf("leak[%d] = %+v, want ID %d", i, f, wantIDs[i])
+		}
+	}
+	if len(r.LeakGroups) != 2 {
+		t.Fatalf("LeakGroups = %+v", r.LeakGroups)
+	}
+	if g := r.LeakGroups[0]; g.Ctx != 2 || g.Count != 1 || g.Bytes != 50 {
+		t.Fatalf("group[0] = %+v", g)
+	}
+	if g := r.LeakGroups[1]; g.Ctx != 5 || g.Count != 2 || g.Bytes != 300 {
+		t.Fatalf("group[1] = %+v", g)
+	}
+}
+
+func TestSanitizerAssociateRecontexts(t *testing.T) {
+	s := NewSanitizer()
+	s.TrackAlloc(1, "skbuff", 0, 64, 0)
+	s.Associate(1, 42) // late demux binds the skb to its socket KLOC
+	s.BeginScan()
+	r := s.Report(5)
+	if len(r.Leaks) != 1 || r.Leaks[0].Ctx != 42 {
+		t.Fatalf("leaks = %+v, want ctx 42", r.Leaks)
+	}
+}
+
+func TestSanitizerQuarantineBound(t *testing.T) {
+	s := NewSanitizer()
+	n := sanQuarantine + 10
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		s.TrackAlloc(id, "slab", 0, 8, 0)
+		s.TrackFree(id, 1)
+	}
+	if len(s.freed) != sanQuarantine {
+		t.Fatalf("quarantine holds %d, want %d", len(s.freed), sanQuarantine)
+	}
+	// The oldest IDs were recycled: re-freeing them is not detectable
+	// (matching KASAN's quarantine semantics), the newest still are.
+	s.TrackFree(1, 2)
+	s.TrackFree(uint64(n), 2)
+	s.BeginScan()
+	r := s.Report(3)
+	if r.TotalFindings != 1 {
+		t.Fatalf("TotalFindings = %d, want 1 (only the quarantined ID)", r.TotalFindings)
+	}
+}
+
+func TestSanitizerFindingCap(t *testing.T) {
+	s := NewSanitizer()
+	s.TrackAlloc(1, "slab", 0, 8, 0)
+	s.TrackFree(1, 1)
+	for i := 0; i < sanMaxFindings+50; i++ {
+		s.TrackFree(1, sim.Time(i+2))
+	}
+	s.BeginScan()
+	r := s.Report(0)
+	if len(r.Findings) != sanMaxFindings {
+		t.Fatalf("len(Findings) = %d, want cap %d", len(r.Findings), sanMaxFindings)
+	}
+	if r.TotalFindings != sanMaxFindings+50 {
+		t.Fatalf("TotalFindings = %d, want uncapped %d", r.TotalFindings, sanMaxFindings+50)
+	}
+	if !strings.Contains(r.String(), "more findings") {
+		t.Fatalf("String() lacks overflow note:\n%s", r.String())
+	}
+}
+
+func TestSanitizerNilSafe(t *testing.T) {
+	var s *Sanitizer
+	s.TrackAlloc(1, "slab", 0, 8, 0)
+	s.Associate(1, 2)
+	s.TrackFree(1, 1)
+	s.CheckAccess(1, 2)
+	s.BeginScan()
+	s.MarkReachable(1)
+	if r := s.Report(3); r != nil {
+		t.Fatalf("nil sanitizer Report = %+v, want nil", r)
+	}
+	var r *SanReport
+	if !r.Clean() {
+		t.Fatal("nil report must be Clean")
+	}
+	if !strings.Contains(r.String(), "not armed") {
+		t.Fatalf("nil report String() = %q", r.String())
+	}
+}
+
+func TestSanitizerUnknownFreeIgnored(t *testing.T) {
+	s := NewSanitizer()
+	// Freeing an ID never tracked (allocated before attach) is not a
+	// finding.
+	s.TrackFree(99, 1)
+	s.BeginScan()
+	if r := s.Report(2); !r.Clean() {
+		t.Fatalf("report = %+v, want clean", r)
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture carries deliberate nodeterminism violations for the
+// analyzer tests; the go tool never builds testdata trees.
+package fixture
+
+import (
+	"math/rand" // want "ambient randomness breaks run reproducibility"
+	"sort"
+	"time"
+)
+
+var sink []string
+
+func wallClock() int64 {
+	t := time.Now()              // want "the simulator runs in virtual time"
+	time.Sleep(time.Millisecond) // want "the simulator runs in virtual time"
+	return t.UnixNano() + int64(rand.Int())
+}
+
+func escapingOrder(m map[string]int) {
+	for k := range m { // want "range over map"
+		sink = append(sink, k)
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the loop only collects, the
+// very next statement sorts.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// filteredCollect is the sanctioned idiom with a pure filter wrapped
+// around the append.
+func filteredCollect(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutativeSum is order-insensitive: every iteration folds into the
+// same accumulator.
+func commutativeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// keyedWrites are order-safe: each iteration writes a distinct element.
+func keyedWrites(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// annotated would be flagged, but the marker vouches for it.
+func annotated(m map[string]int) {
+	//klocs:unordered fixture: order deliberately unspecified here
+	for k := range m {
+		sink = append(sink, k)
+	}
+}

@@ -1,0 +1,17 @@
+// Package fixture carries deliberate tracenames violations for the
+// analyzer tests; the go tool never builds testdata trees. It imports
+// the real trace package so Emit resolves to the real method.
+package fixture
+
+import (
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+func emits(tr *trace.Tracer, now sim.Time) {
+	tr.Emit(trace.AllocSlab, now, 1, 2, "inode", 0, 64)   // registered constant: ok
+	tr.Emit("alloc.bogus", now, 1, 2, "inode", 0, 64)     // want "unregistered event name \"alloc.bogus\""
+	tr.Emit("alloc.slab "+"x", now, 1, 2, "inode", 0, 64) // want "unregistered event name"
+	name := trace.Name("alloc.slab")
+	tr.Emit(name, now, 1, 2, "inode", 0, 64) // want "non-constant event name"
+}

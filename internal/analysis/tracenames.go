@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"kloc/internal/trace"
+)
+
+// TraceNames requires every Tracer.Emit call site to pass a constant
+// event name from the catalog registered in internal/trace. A typo'd
+// or ad-hoc name would silently create an event no -trace-events
+// pattern enables and no OBSERVABILITY.md section documents; a
+// non-constant name defeats static auditing of the catalog entirely.
+// The catalog is read from trace.Names() at analysis time, so adding
+// an event means registering it once — the analyzer follows.
+var TraceNames = &Analyzer{
+	Name: "tracenames",
+	Doc:  "require Tracer.Emit call sites to use constant names from the internal/trace catalog",
+	Run:  runTraceNames,
+}
+
+// traceCatalog is the registered name set, materialized once from the
+// live catalog so the analyzer can never drift from it.
+var traceCatalog = func() map[string]bool {
+	set := make(map[string]bool, len(trace.Names()))
+	for _, n := range trace.Names() {
+		set[string(n)] = true
+	}
+	return set
+}()
+
+func runTraceNames(pass *Pass) error {
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isTracerEmit(fn) || len(call.Args) == 0 {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(arg.Pos(), "Tracer.Emit with non-constant event name: use a trace.Name constant from the internal/trace catalog so enables and documentation can find it")
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !traceCatalog[name] {
+			pass.Reportf(arg.Pos(), "Tracer.Emit with unregistered event name %q: not in the internal/trace catalog (see trace.Names and OBSERVABILITY.md)", name)
+		}
+		return true
+	})
+	return nil
+}
+
+// isTracerEmit reports whether fn is the Emit method of
+// kloc/internal/trace.Tracer.
+func isTracerEmit(fn *types.Func) bool {
+	if fn.Name() != "Emit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tracer" && obj.Pkg() != nil && obj.Pkg().Path() == "kloc/internal/trace"
+}

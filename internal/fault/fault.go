@@ -205,6 +205,7 @@ type Plane struct {
 // fault and never draw randomness.
 func NewPlane(cfg Config) *Plane {
 	p := &Plane{points: make(map[Point]*pointState, len(cfg.Rules))}
+	//klocs:unordered arming writes one independent entry per point; RNG streams are seeded by point name
 	for pt, rule := range cfg.Rules {
 		if rule.Err == 0 {
 			rule.Err = DefaultErrno(pt)

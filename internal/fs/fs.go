@@ -105,6 +105,11 @@ type FS struct {
 	// passive; nil disables tracing.
 	Trace *trace.Tracer
 
+	// San, when non-nil, is the KASAN/kmemleak-analog sanitizer: the
+	// object paths report every alloc, free, and access to it. Strictly
+	// passive; nil disables sanitizing.
+	San *alloc.Sanitizer
+
 	journalPending []journalOp
 	// durable is the committed metadata image — what a crash preserves
 	// and Replay rebuilds.
@@ -220,16 +225,17 @@ func (f *FS) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Objec
 		o = kobj.NewObject(id, t, frame, ctx.Now, func() { f.Pager.Free(frame) })
 		f.Hooks.PageAllocated(ctx, frame)
 	}
-	name := trace.AllocSlab
 	if t.Info().Alloc == kobj.AllocPage {
-		name = trace.AllocPage
+		f.Trace.Emit(trace.AllocPage, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
+	} else {
+		f.Trace.Emit(trace.AllocSlab, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	}
-	f.Trace.Emit(name, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	f.Stats.ObjAllocs[t]++
 	f.Stats.ObjLive[t]++
 	// Initialization writes the new object's memory: allocation cost is
 	// tier-sensitive, which is why direct placement matters (§3.2).
 	ctx.Charge(f.Mem.Access(ctx.CPU, o.Frame, o.Size, true, ctx.Now))
+	f.San.TrackAlloc(uint64(id), t.String(), ino, int64(o.Size), ctx.Now)
 	f.Hooks.ObjectCreated(ctx, ino, o)
 	return o, nil
 }
@@ -277,6 +283,7 @@ func (f *FS) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 	if o == nil {
 		return
 	}
+	f.San.TrackFree(uint64(o.ID), ctx.Now)
 	node := -1
 	if o.Frame != nil {
 		node = int(o.Frame.Node)
@@ -292,13 +299,37 @@ func (f *FS) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 
 // touchObj charges a memory access to the object's frame.
 func (f *FS) touchObj(ctx *kstate.Ctx, o *kobj.Object, bytes int, write bool) {
-	if o == nil || o.Frame == nil {
+	if o == nil {
+		return
+	}
+	f.San.CheckAccess(uint64(o.ID), ctx.Now)
+	if o.Frame == nil {
 		return
 	}
 	if bytes <= 0 {
 		bytes = o.Size
 	}
 	ctx.Charge(f.Mem.Access(ctx.CPU, o.Frame, bytes, write, ctx.Now))
+}
+
+// MarkReachable marks every object the filesystem still references —
+// each live inode's object tree plus the uncommitted journal buffers —
+// for the sanitizer's kmemleak-style teardown scan.
+func (f *FS) MarkReachable(s *alloc.Sanitizer) {
+	if s == nil {
+		return
+	}
+	f.ForEachInode(func(ind *Inode) bool {
+		for _, o := range ind.Objects() {
+			s.MarkReachable(uint64(o.ID))
+		}
+		return true
+	})
+	for _, op := range f.journalPending {
+		if op.obj != nil {
+			s.MarkReachable(uint64(op.obj.ID))
+		}
+	}
 }
 
 // Inodes reports the live inode count.
@@ -342,6 +373,7 @@ func errNotFound(path string) error { return fmt.Errorf("fs: %s: no such file", 
 // CachePages reports total page-cache pages across all inodes.
 func (f *FS) CachePages() int {
 	n := 0
+	//klocs:unordered commutative sum of per-inode page counts
 	for _, ind := range f.inodes {
 		n += ind.pages.Len()
 	}

@@ -87,8 +87,13 @@ func (ind *Inode) Objects() []*kobj.Object {
 	if ind.dentry != nil {
 		out = append(out, ind.dentry)
 	}
-	for _, o := range ind.radixNodes {
-		out = append(out, o)
+	slots := make([]int64, 0, len(ind.radixNodes))
+	for idx := range ind.radixNodes {
+		slots = append(slots, idx)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, idx := range slots {
+		out = append(out, ind.radixNodes[idx])
 	}
 	ind.pages.Ascend(func(_ int64, p *Page) bool { out = append(out, p.Obj); return true })
 	ind.extents.Ascend(func(_ int64, o *kobj.Object) bool { out = append(out, o); return true })
@@ -159,8 +164,10 @@ func (f *FS) Open(ctx *kstate.Ctx, path string) (*File, error) {
 }
 
 func (f *FS) findByPath(path string) (uint64, bool) {
-	for ino, ind := range f.inodes {
-		if ind.Path == path {
+	// Creation-order scan: live paths are unique, so the order only
+	// decides determinism of the walk itself.
+	for _, ino := range f.inodeOrder {
+		if ind, ok := f.inodes[ino]; ok && ind.Path == path {
 			return ino, true
 		}
 	}

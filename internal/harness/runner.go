@@ -15,6 +15,7 @@ package harness
 import (
 	"fmt"
 
+	"kloc/internal/alloc"
 	"kloc/internal/fault"
 	"kloc/internal/fs"
 	"kloc/internal/kernel"
@@ -95,6 +96,14 @@ type RunConfig struct {
 	// it is strictly passive, so setup stays bit-identical — and is
 	// returned on Result.Trace for export. Nil runs without tracing.
 	Trace *trace.Config
+
+	// Sanitize arms the KASAN/kmemleak-analog runtime sanitizer for the
+	// run. Like the tracer it attaches before setup and is strictly
+	// passive — a sanitized run is bit-identical to an unsanitized one
+	// at the same seed. The end-of-run report (double frees,
+	// use-after-free accesses, leaked objects grouped by KLOC context)
+	// is returned on Result.Sanitize.
+	Sanitize bool
 }
 
 // Result is one run's outcome.
@@ -168,6 +177,10 @@ type Result struct {
 	// when the ring buffer dropped some.
 	Trace      *trace.Tracer
 	TraceStats trace.Stats
+
+	// Sanitize is the runtime sanitizer's end-of-run report (nil when
+	// RunConfig.Sanitize was off).
+	Sanitize *alloc.SanReport
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -243,6 +256,12 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Trace != nil {
 		tracer = trace.New(*cfg.Trace)
 		k.AttachTracer(tracer)
+	}
+	// The sanitizer attaches before setup for the same reason: it is
+	// strictly passive, and setup-phase allocations must be tracked or
+	// the teardown leak scan would miss the long-lived population.
+	if cfg.Sanitize {
+		k.AttachSanitizer(alloc.NewSanitizer())
 	}
 	root := sim.NewRNG(cfg.Seed)
 	if err := wl.Setup(k, root); err != nil {
@@ -357,6 +376,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.ShrinkerStats = k.Pressure.ShrinkerStats()
 	res.Trace = tracer
 	res.TraceStats = tracer.Stats()
+	res.Sanitize = k.SanitizeReport(eng.Now())
 	return res, nil
 }
 
@@ -409,6 +429,7 @@ func collect(cfg RunConfig, k *kernel.Kernel, pol kernel.Policy, wl workload.Wor
 	res.Mem.Promotions -= base.promotions
 	res.Mem.L4Hits -= base.l4Hits
 	res.Mem.L4Misses -= base.l4Misses
+	slow := slowNodeOf(cfg)
 	for class := 0; class < 6; class++ {
 		c := memsim.Class(class)
 		refs := mem.Stats.Refs[class] - base.refs[class]
@@ -421,7 +442,7 @@ func collect(cfg RunConfig, k *kernel.Kernel, pol kernel.Policy, wl workload.Wor
 			delta := counts[class] - base.allocsByNode[node][class]
 			res.AllocsByClass[class] += delta
 			res.TotalAllocsByClass[class] += counts[class]
-			if slowNodeOf(cfg) == node {
+			if slow == node {
 				res.SlowAllocsByClass[class] += delta
 			}
 		}

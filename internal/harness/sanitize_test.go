@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+func sanitizeTestConfig() RunConfig {
+	return RunConfig{
+		PolicyName: "klocs",
+		Workload:   "rocksdb",
+		Duration:   20 * sim.Millisecond,
+	}
+}
+
+// TestSanitizedRunIsClean: the simulator's own object lifecycles must
+// produce a clean report — no double frees, no use-after-free, and
+// every tracked-live object reachable from the kernel's roots.
+func TestSanitizedRunIsClean(t *testing.T) {
+	for _, wl := range []string{"rocksdb", "redis"} {
+		cfg := sanitizeTestConfig()
+		cfg.Workload = wl
+		cfg.Sanitize = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sanitize == nil {
+			t.Fatalf("%s: sanitized run returned no report", wl)
+		}
+		if !res.Sanitize.Clean() {
+			t.Fatalf("%s: sanitizer dirty:\n%s", wl, res.Sanitize)
+		}
+		if res.Sanitize.TrackedLive == 0 {
+			t.Fatalf("%s: sanitizer tracked nothing", wl)
+		}
+	}
+}
+
+// TestSanitizerIsPassive: a sanitized run must be bit-identical to an
+// unsanitized one at the same seed — the sanitizer charges no virtual
+// cost and draws no randomness. The trace plane is armed on both runs
+// so the comparison covers the full event stream, not just the summary
+// counters.
+func TestSanitizerIsPassive(t *testing.T) {
+	run := func(sanitize bool) *Result {
+		cfg := sanitizeTestConfig()
+		cfg.Trace = &trace.Config{}
+		cfg.Sanitize = sanitize
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, sanitized := run(false), run(true)
+	if plain.Ops != sanitized.Ops || plain.VirtualTime != sanitized.VirtualTime ||
+		plain.Throughput != sanitized.Throughput {
+		t.Fatalf("sanitizing perturbed the run: ops %d vs %d, vt %v vs %v",
+			plain.Ops, sanitized.Ops, plain.VirtualTime, sanitized.VirtualTime)
+	}
+	if plain.Mem.Refs != sanitized.Mem.Refs || plain.FS != sanitized.FS {
+		t.Fatal("sanitizing perturbed subsystem stats")
+	}
+	if plain.Trace.TextString() != sanitized.Trace.TextString() {
+		t.Fatal("sanitizing perturbed the trace event stream")
+	}
+	if plain.Sanitize != nil {
+		t.Fatal("unsanitized run carries a report")
+	}
+}

@@ -5,6 +5,7 @@
 package kernel
 
 import (
+	"kloc/internal/alloc"
 	"kloc/internal/blockdev"
 	"kloc/internal/fault"
 	"kloc/internal/fs"
@@ -63,6 +64,11 @@ type Kernel struct {
 	// AttachTracer. Kernel-level events (app pages, oom.spill) emit
 	// through it directly.
 	Trace *trace.Tracer
+
+	// San is the armed runtime sanitizer (nil when sanitizing is off);
+	// see AttachSanitizer. Kernel-level app-page alloc/free/access
+	// report through it directly.
+	San *alloc.Sanitizer
 
 	// Lifetimes records object/page lifetimes by class (Fig 2d).
 	Lifetimes *metrics.LifetimeTracker
@@ -132,6 +138,39 @@ func (k *Kernel) AttachTracer(t *trace.Tracer) {
 	k.FS.MQ.Trace = t
 	k.Mem.Trace = t
 	k.Pressure.Trace = t
+}
+
+// AttachSanitizer arms the KASAN/kmemleak-analog runtime sanitizer
+// across every subsystem that allocates tracked objects: the
+// filesystem and network object paths plus the kernel's own app-page
+// path. Like the tracer, the sanitizer is strictly passive — it never
+// charges virtual time or perturbs allocator state — so a sanitized
+// run is bit-identical to an unsanitized one at the same seed.
+// Passing nil detaches.
+func (k *Kernel) AttachSanitizer(s *alloc.Sanitizer) {
+	k.San = s
+	k.FS.San = s
+	k.Net.San = s
+}
+
+// SanitizeReport runs the kmemleak-style teardown scan and returns the
+// sanitizer's report: the kernel marks every object reachable from its
+// roots (live inodes' object trees, pending journal buffers, open
+// sockets and their ingress queues, mapped app pages), and whatever
+// tracked-live object goes unmarked is reported as a leak grouped by
+// KLOC context. Returns nil when no sanitizer is attached.
+func (k *Kernel) SanitizeReport(at sim.Time) *alloc.SanReport {
+	if k.San == nil {
+		return nil
+	}
+	k.San.BeginScan()
+	k.FS.MarkReachable(k.San)
+	k.Net.MarkReachable(k.San)
+	//klocs:unordered marking reachability is idempotent; scan order cannot affect the report
+	for id := range k.appPages {
+		k.San.MarkReachable(appIDBit | uint64(id))
+	}
+	return k.San.Report(at)
 }
 
 // Start launches the policy daemon (and, when configured, the kswapd
@@ -211,6 +250,7 @@ func (k *Kernel) AppAlloc(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
 			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.appPages[f.ID] = f
 		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
+		k.San.TrackAlloc(appIDBit|uint64(f.ID), "app", 0, int64(f.Pages())*memsim.PageSize, ctx.Now)
 		k.Stats.AppPagesAllocated++
 		k.Policy.PageAllocated(ctx, f)
 		out = append(out, f)
@@ -243,6 +283,7 @@ func (k *Kernel) AppAllocHuge(ctx *kstate.Ctx, n int) ([]*memsim.Frame, error) {
 			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.appPages[f.ID] = f
 		k.Lifetimes.Born(appIDBit|uint64(f.ID), ctx.Now)
+		k.San.TrackAlloc(appIDBit|uint64(f.ID), "app", 0, int64(f.Pages())*memsim.PageSize, ctx.Now)
 		k.Stats.AppPagesAllocated += uint64(f.Pages())
 		k.Policy.PageAllocated(ctx, f)
 		out = append(out, f)
@@ -255,6 +296,7 @@ func (k *Kernel) AppAccess(ctx *kstate.Ctx, f *memsim.Frame, bytes int, write bo
 	if bytes <= 0 {
 		bytes = memsim.PageSize
 	}
+	k.San.CheckAccess(appIDBit|uint64(f.ID), ctx.Now)
 	ctx.Charge(k.Mem.Access(ctx.CPU, f, bytes, write, ctx.Now))
 	k.Stats.AppAccesses++
 	k.Policy.PageAccessed(ctx, f)
@@ -267,6 +309,7 @@ func (k *Kernel) AppFree(ctx *kstate.Ctx, frames []*memsim.Frame) {
 			continue
 		}
 		delete(k.appPages, f.ID)
+		k.San.TrackFree(appIDBit|uint64(f.ID), ctx.Now)
 		k.Trace.Emit(trace.ObjFree, ctx.Now, 0, uint64(f.ID), "app",
 			int(f.Node), int64(f.Pages())*memsim.PageSize)
 		k.Lifetimes.Died(appIDBit|uint64(f.ID), "app", ctx.Now)
@@ -316,6 +359,7 @@ func (m *muxHooks) ObjectCreated(ctx *kstate.Ctx, ino uint64, o *kobj.Object) {
 	m.policy.ObjectCreated(ctx, ino, o)
 }
 func (m *muxHooks) ObjectAssociated(ctx *kstate.Ctx, ino uint64, o *kobj.Object) {
+	m.kernel.San.Associate(uint64(o.ID), ino)
 	m.policy.ObjectAssociated(ctx, ino, o)
 }
 func (m *muxHooks) ObjectFreed(ctx *kstate.Ctx, o *kobj.Object) {

@@ -566,6 +566,7 @@ func (mg *Migrator) Migrate(frames []*Frame, dst NodeID, now sim.Time) (moved, f
 	cost = serial / sim.Duration(p)
 	if moved > 0 {
 		mg.Mem.NoteMigrationLoad(dst, now, cost)
+		//klocs:unordered one independent load note per distinct source node
 		for src := range srcSeen {
 			mg.Mem.NoteMigrationLoad(src, now, cost)
 		}

@@ -102,6 +102,11 @@ type Net struct {
 	// net.rx / net.tx events from the socket paths. Strictly passive.
 	Trace *trace.Tracer
 
+	// San, when non-nil, is the KASAN/kmemleak-analog sanitizer: the
+	// object paths report every alloc, free, and access to it. Strictly
+	// passive; nil disables sanitizing.
+	San *alloc.Sanitizer
+
 	Stats Stats
 }
 
@@ -190,15 +195,16 @@ func (n *Net) allocObjOnce(ctx *kstate.Ctx, t kobj.Type, ino uint64) (*kobj.Obje
 		o = kobj.NewObject(id, t, frame, ctx.Now, func() { n.Pager.Free(frame) })
 		n.Hooks.PageAllocated(ctx, frame)
 	}
-	name := trace.AllocSlab
 	if t.Info().Alloc == kobj.AllocPage {
-		name = trace.AllocPage
+		n.Trace.Emit(trace.AllocPage, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
+	} else {
+		n.Trace.Emit(trace.AllocSlab, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	}
-	n.Trace.Emit(name, ctx.Now, ino, uint64(id), t.String(), int(o.Frame.Node), int64(o.Size))
 	n.Stats.ObjAllocs[t]++
 	n.Stats.ObjLive[t]++
 	// Initialization writes the object's memory (tier-sensitive).
 	ctx.Charge(n.Mem.Access(ctx.CPU, o.Frame, o.Size, true, ctx.Now))
+	n.San.TrackAlloc(uint64(id), t.String(), ino, int64(o.Size), ctx.Now)
 	n.Hooks.ObjectCreated(ctx, ino, o)
 	return o, nil
 }
@@ -207,6 +213,7 @@ func (n *Net) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 	if o == nil {
 		return
 	}
+	n.San.TrackFree(uint64(o.ID), ctx.Now)
 	node := -1
 	if o.Frame != nil {
 		node = int(o.Frame.Node)
@@ -221,13 +228,42 @@ func (n *Net) freeObj(ctx *kstate.Ctx, o *kobj.Object) {
 }
 
 func (n *Net) touchObj(ctx *kstate.Ctx, o *kobj.Object, bytes int, write bool) {
-	if o == nil || o.Frame == nil {
+	if o == nil {
+		return
+	}
+	n.San.CheckAccess(uint64(o.ID), ctx.Now)
+	if o.Frame == nil {
 		return
 	}
 	if bytes <= 0 {
 		bytes = o.Size
 	}
 	ctx.Charge(n.Mem.Access(ctx.CPU, o.Frame, bytes, write, ctx.Now))
+}
+
+// MarkReachable marks every object the network stack still references
+// — each open socket's object plus its queued ingress packets — for
+// the sanitizer's kmemleak-style teardown scan.
+func (n *Net) MarkReachable(s *alloc.Sanitizer) {
+	if s == nil {
+		return
+	}
+	for _, ino := range n.sockOrder {
+		sk, ok := n.sockets[ino]
+		if !ok {
+			continue
+		}
+		if sk.sockObj != nil {
+			s.MarkReachable(uint64(sk.sockObj.ID))
+		}
+		for _, p := range sk.rxQueue {
+			for _, o := range []*kobj.Object{p.skb, p.data, p.rxbuf} {
+				if o != nil {
+					s.MarkReachable(uint64(o.ID))
+				}
+			}
+		}
+	}
 }
 
 // Sockets reports open sockets.

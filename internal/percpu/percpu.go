@@ -107,6 +107,7 @@ func (l *Lists[T]) CachedAnywhere(item T) bool { return len(l.where[item]) > 0 }
 func (l *Lists[T]) LastCPU(item T) int {
 	set := l.where[item]
 	best := -1
+	//klocs:unordered max reduction is order-insensitive
 	for cpu := range set {
 		if cpu > best {
 			best = cpu
@@ -122,6 +123,7 @@ func (l *Lists[T]) Invalidate(item T) {
 	if set == nil {
 		return
 	}
+	//klocs:unordered each iteration edits a distinct CPU's private list
 	for cpu := range set {
 		list := l.lists[cpu]
 		for i := range list {

@@ -80,6 +80,7 @@ func (p *AllLocal) Tick(now sim.Time) sim.Duration {
 	// the oracle retries on its next tick.
 	for _, f := range framesOn(p.K.Mem, otherNode(p.K)) {
 		if p.K.Mem.CanMigrate(f, local) {
+			//klocs:ignore-errno best-effort teleport; a failed move is retried on the next tick
 			_, _ = p.K.Mem.MoveFrame(f, local, 0)
 		}
 	}
@@ -199,6 +200,7 @@ func (p *AutoNUMA) InodeCreated(ctx *kstate.Ctx, ino uint64, _ bool) {
 	if p.Reg == nil {
 		return
 	}
+	//klocs:ignore-errno lifecycle hooks have no error path; a mapping fault only leaves the knode unmapped
 	_, cost, _ := p.Reg.MapKnode(ino, p.PlaceKernel(ctx, kobj.Inode, ino), ctx.Now)
 	ctx.Charge(cost)
 }

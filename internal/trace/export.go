@@ -36,7 +36,7 @@ func (t *Tracer) WriteText(w io.Writer) error {
 // TextString renders WriteText to a string (tests, small traces).
 func (t *Tracer) TextString() string {
 	var b strings.Builder
-	t.WriteText(&b) // strings.Builder writes cannot fail
+	t.WriteText(&b) //klocs:ignore-errno strings.Builder writes cannot fail
 	return b.String()
 }
 

@@ -109,8 +109,11 @@ func (w *Cassandra) Step(k *kernel.Kernel, ctx *kstate.Ctx, thread int, r *sim.R
 			path := w.sstables[key%len(w.sstables)]
 			f, err := k.FS.Open(ctx, path)
 			if err == nil {
-				k.FS.Read(ctx, f, int64(key)%w.sstPages)
+				rerr := k.FS.Read(ctx, f, int64(key)%w.sstPages)
 				k.FS.Close(ctx, f)
+				if rerr != nil {
+					return rerr
+				}
 			}
 		}
 	} else { // write

@@ -36,6 +36,7 @@ package kloc
 import (
 	"strings"
 
+	"kloc/internal/alloc"
 	"kloc/internal/fault"
 	"kloc/internal/harness"
 	"kloc/internal/kernel"
@@ -241,6 +242,34 @@ func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
 
 // TraceEventNames lists the event catalog in documentation order.
 func TraceEventNames() []TraceEventName { return trace.Names() }
+
+// Runtime sanitizing (the KASAN/kmemleak-analog plane; DESIGN.md §10).
+type (
+	// Sanitizer is an armed runtime sanitizer: a freed-object poison
+	// quarantine catches double frees and use-after-free accesses as
+	// they happen, and a teardown reachability scan reports leaks
+	// grouped by KLOC context. RunConfig.Sanitize arms one per run.
+	Sanitizer = alloc.Sanitizer
+	// SanReport is the end-of-run sanitizer summary (Result.Sanitize).
+	SanReport = alloc.SanReport
+	// SanFinding is one detected violation.
+	SanFinding = alloc.SanFinding
+	// SanKind classifies a finding (double-free, use-after-free, leak).
+	SanKind = alloc.SanKind
+	// LeakGroup aggregates leaked objects sharing a KLOC context.
+	LeakGroup = alloc.LeakGroup
+)
+
+// Finding kinds.
+const (
+	SanDoubleFree   = alloc.SanDoubleFree
+	SanUseAfterFree = alloc.SanUseAfterFree
+	SanLeak         = alloc.SanLeak
+)
+
+// NewSanitizer arms a standalone sanitizer (harness users get one
+// implicitly through RunConfig.Sanitize).
+func NewSanitizer() *Sanitizer { return alloc.NewSanitizer() }
 
 // Workloads (Table 3).
 type (
