@@ -2,7 +2,8 @@
 // invariant-enforcing analyzer suite (internal/analysis): the
 // checkpatch/sparse analog run by `make lint` and CI. It type-checks
 // every lintable package of the module — the root package, cmd/...,
-// internal/..., and examples/... — and applies the four analyzers:
+// internal/..., and examples/... — and applies the per-package
+// analyzers:
 //
 //	nodeterminism  no wall-clock time, ambient randomness, or escaping
 //	               map-iteration order
@@ -10,11 +11,28 @@
 //	tracenames     Tracer.Emit names come from the registered catalog
 //	allocpair      alloc entry points have matching teardown paths
 //
+// plus, over the whole module at once (call graph, CFGs, dataflow),
+// the interprocedural analyzers:
+//
+//	lifecycle      alloc/free pairing proven across call boundaries:
+//	               no double free, no path-dependent free, no leak on
+//	               early return
+//	errnoflow      errors escaping errno-speaking boundaries derive
+//	               from the internal/fault vocabulary
+//	tracereach     every trace catalog constant has a reachable Emit
+//	               site
+//
+// A full-suite, whole-module run also audits the //klocs:* marker
+// comments: a marker no analyzer needed (stale) or whose name is not
+// in the vocabulary (typo) is itself reported, as suppressaudit.
+//
 // Usage:
 //
 //	kloclint              # lint the whole module
 //	kloclint -list        # show the analyzer suite
-//	kloclint -only errnocheck,tracenames
+//	kloclint -only errnocheck,lifecycle
+//	kloclint -json        # diagnostics as a JSON array on stdout
+//	kloclint -sarif out.sarif   # also write SARIF 2.1.0 for CI upload
 //	kloclint internal/fs internal/netsim   # specific package dirs
 //
 // Exit status: 0 clean, 1 diagnostics (or load failures), 2 flag and
@@ -22,10 +40,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"kloc/internal/analysis"
@@ -33,8 +53,10 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list the analyzer suite and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list the analyzer suite and exit")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut   = flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
+		sarifPath = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -43,9 +65,13 @@ func main() {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range analysis.AllModule() {
+			fmt.Printf("%-16s %s (whole-module)\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-16s %s\n", analysis.SuppressAuditName, "stale or unknown //klocs:* markers (full-suite runs only)")
 		return
 	}
-	analyzers, err := selectAnalyzers(*only)
+	pkgAnalyzers, modAnalyzers, err := selectAnalyzers(*only)
 	if err != nil {
 		usageError(err)
 	}
@@ -54,12 +80,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	wholeModule := len(flag.Args()) == 0
 	targets, err := resolveTargets(loader, flag.Args())
 	if err != nil {
 		usageError(err)
 	}
+	if !wholeModule && len(modAnalyzers) > 0 && *only != "" {
+		usageError(fmt.Errorf("module analyzers need the whole module: drop the package arguments"))
+	}
+
+	// The suppression audit is only sound when every analyzer has had
+	// its chance to need every marker: full suite, whole module.
+	fullSuite := *only == "" && wholeModule
+	var audit *analysis.MarkerAudit
+	if fullSuite {
+		audit = analysis.NewMarkerAudit()
+	}
 
 	exit := 0
+	var diags []analysis.Diagnostic
+	var pkgs []*analysis.Package
 	for _, t := range targets {
 		pkg, err := loader.Load(t.Dir, t.ImportPath)
 		if err != nil {
@@ -67,56 +107,119 @@ func main() {
 			exit = 1
 			continue
 		}
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		pkgs = append(pkgs, pkg)
+		ds, err := analysis.RunAnalyzersAudited(pkg, pkgAnalyzers, audit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kloclint:", err)
 			exit = 1
 			continue
 		}
-		for _, d := range diags {
-			fmt.Println(rel(loader.ModuleDir, d))
+		diags = append(diags, ds...)
+	}
+	if wholeModule && len(modAnalyzers) > 0 && exit == 0 {
+		mod := analysis.NewModule(pkgs)
+		ds, err := analysis.RunModuleAnalyzers(mod, modAnalyzers, audit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kloclint:", err)
 			exit = 1
+		} else {
+			diags = append(diags, ds...)
+		}
+	}
+	if fullSuite && exit == 0 {
+		diags = append(diags, analysis.AuditSuppressions(pkgs, audit)...)
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(loader.ModuleDir, diags[i].Pos.Filename)
+	}
+	if len(diags) > 0 {
+		exit = 1
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "kloclint:", err)
+			exit = 1
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
 		}
 	}
 	os.Exit(exit)
 }
 
-// rel shortens a diagnostic's filename to be module-relative.
-func rel(root string, d analysis.Diagnostic) string {
-	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		d.Pos.Filename = r
+// relPath shortens a filename to be module-relative.
+func relPath(root, name string) string {
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
 	}
-	return d.String()
+	return name
 }
 
-// selectAnalyzers resolves -only against the suite.
-func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
-	all := analysis.All()
+// selectAnalyzers resolves -only against both suites.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, []*analysis.ModuleAnalyzer, error) {
+	allPkg := analysis.All()
+	allMod := analysis.AllModule()
 	if only == "" {
-		return all, nil
+		return allPkg, allMod, nil
 	}
-	byName := make(map[string]*analysis.Analyzer, len(all))
+	pkgByName := make(map[string]*analysis.Analyzer, len(allPkg))
+	modByName := make(map[string]*analysis.ModuleAnalyzer, len(allMod))
 	var names []string
-	for _, a := range all {
-		byName[a.Name] = a
+	for _, a := range allPkg {
+		pkgByName[a.Name] = a
 		names = append(names, a.Name)
 	}
-	var out []*analysis.Analyzer
+	for _, a := range allMod {
+		modByName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var pkgOut []*analysis.Analyzer
+	var modOut []*analysis.ModuleAnalyzer
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(names, ", "))
+		if a, ok := pkgByName[name]; ok {
+			pkgOut = append(pkgOut, a)
+			continue
 		}
-		out = append(out, a)
+		if a, ok := modByName[name]; ok {
+			modOut = append(modOut, a)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(names, ", "))
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("-only selected no analyzers (valid: %s)", strings.Join(names, ", "))
+	if len(pkgOut) == 0 && len(modOut) == 0 {
+		return nil, nil, fmt.Errorf("-only selected no analyzers (valid: %s)", strings.Join(names, ", "))
 	}
-	return out, nil
+	return pkgOut, modOut, nil
 }
 
 // resolveTargets turns the positional arguments (package directories
@@ -153,10 +256,11 @@ func resolveTargets(loader *analysis.Loader, args []string) ([]analysis.Target, 
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: kloclint [-list] [-only a,b] [package-dir ...]\n\n"+
+		"usage: kloclint [-list] [-only a,b] [-json] [-sarif file] [package-dir ...]\n\n"+
 			"Lints the module's packages with the invariant analyzer suite\n"+
 			"(see internal/analysis and DESIGN.md §10). With no package\n"+
-			"directories the whole module is linted.\n\nflags:\n")
+			"directories the whole module is linted, including the\n"+
+			"interprocedural analyzers and the marker suppression audit.\n\nflags:\n")
 	flag.PrintDefaults()
 }
 

@@ -1,6 +1,10 @@
 package alloc
 
-import "fmt"
+import (
+	"fmt"
+
+	"kloc/internal/fault"
+)
 
 // Buddy is a binary buddy allocator over an abstract page-index space
 // [0, size). The block layer uses it for physically contiguous DMA ring
@@ -24,7 +28,7 @@ type Buddy struct {
 // NewBuddy creates a buddy allocator over size pages (power of two).
 func NewBuddy(size int) (*Buddy, error) {
 	if size <= 0 || size&(size-1) != 0 {
-		return nil, fmt.Errorf("alloc: buddy size %d not a power of two", size)
+		return nil, fmt.Errorf("alloc: buddy size %d not a power of two: %w", size, fault.EINVAL)
 	}
 	maxOrder := 0
 	for 1<<maxOrder < size {
@@ -45,7 +49,7 @@ func NewBuddy(size int) (*Buddy, error) {
 // when fragmentation or occupancy prevents it.
 func (b *Buddy) Alloc(order int) (int, error) {
 	if order < 0 || order > b.maxOrder {
-		return 0, fmt.Errorf("alloc: order %d out of range", order)
+		return 0, fmt.Errorf("alloc: order %d out of range: %w", order, fault.EINVAL)
 	}
 	// Find the smallest order with a free block.
 	o := order
@@ -53,7 +57,7 @@ func (b *Buddy) Alloc(order int) (int, error) {
 		o++
 	}
 	if o > b.maxOrder {
-		return 0, fmt.Errorf("alloc: no free block of order %d", order)
+		return 0, fmt.Errorf("alloc: no free block of order %d: %w", order, fault.ENOMEM)
 	}
 	base := b.free[o][len(b.free[o])-1]
 	b.free[o] = b.free[o][:len(b.free[o])-1]
@@ -73,7 +77,7 @@ func (b *Buddy) Alloc(order int) (int, error) {
 func (b *Buddy) Free(base int) error {
 	order, ok := b.allocated[base]
 	if !ok {
-		return fmt.Errorf("alloc: free of unallocated base %d", base)
+		return fmt.Errorf("alloc: free of unallocated base %d: %w", base, fault.EINVAL)
 	}
 	delete(b.allocated, base)
 	// Coalesce with the buddy while possible.

@@ -113,13 +113,12 @@ func checkNewObjectSites(pass *Pass) {
 		return
 	}
 	first := newObjectSites[0]
-	if pass.Marked(allocPairMarker, first.Pos()) {
-		return
-	}
-	if !sawRelease {
+	// Marked is consulted per missing path, once the diagnostic is
+	// certain, so the suppression audit sees a real hit or none.
+	if !sawRelease && !pass.Marked(allocPairMarker, first.Pos()) {
 		pass.Reportf(first.Pos(), "package %s creates kernel objects (kobj.NewObject) but never calls (*kobj.Object).Release: allocation entry points need an in-package teardown path", pass.Pkg.Types.Name())
 	}
-	if !sawObjectFreed {
+	if !sawObjectFreed && !pass.Marked(allocPairMarker, first.Pos()) {
 		pass.Reportf(first.Pos(), "package %s creates kernel objects (kobj.NewObject) but never fires the ObjectFreed lifecycle hook: frees must reach the kobj lifetime accounting", pass.Pkg.Types.Name())
 	}
 }

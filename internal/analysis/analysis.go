@@ -7,7 +7,8 @@
 // come from the registered catalog, and every simulated allocation
 // entry point needs a teardown path feeding kobj accounting.
 //
-// Four analyzers enforce those invariants over the module's source:
+// Four per-package analyzers enforce those invariants over one
+// package at a time:
 //
 //   - nodeterminism: forbids wall-clock time, global math/rand, and
 //     map-iteration order escaping into simulation state or output
@@ -18,6 +19,23 @@
 //     from the catalog registered in internal/trace;
 //   - allocpair: every allocation entry point has a matching
 //     free/teardown path registered with kobj accounting.
+//
+// Three module analyzers reason across call boundaries, over a
+// whole-module call graph (callgraph.go), per-function CFGs (cfg.go),
+// and dataflow with bottom-up SCC summary fixpoints (dataflow.go):
+//
+//   - lifecycle: path-sensitive alloc/free state machine — double
+//     free, free-on-some-paths-only, leak on early return, composed
+//     through callee summaries;
+//   - errnoflow: every error escaping an errno-speaking boundary must
+//     provably derive from the internal/fault vocabulary;
+//   - tracereach: every trace catalog constant must have an Emit site
+//     reachable from the module's entry surface.
+//
+// A full-suite run also audits the suppression markers themselves
+// (suppressaudit.go): analyzers consult Marked only once a diagnostic
+// is otherwise certain, so a marker that records no hit suppressed
+// nothing and is reported as stale.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic, a multichecker driver in
@@ -31,9 +49,11 @@
 // False positives are silenced in place with marker comments, each of
 // which should carry a justification:
 //
-//	//klocs:unordered        — this map range is order-insensitive
-//	//klocs:ignore-errno     — this error is deliberately sunk
-//	//klocs:ignore-allocpair — teardown happens through another path
+//	//klocs:unordered         — this map range is order-insensitive
+//	//klocs:ignore-errno      — this error is deliberately sunk or anonymous
+//	//klocs:ignore-allocpair  — teardown happens through another path
+//	//klocs:ignore-lifecycle  — ownership transfer the analysis cannot see
+//	//klocs:ignore-tracereach — catalog entry reserved intentionally
 //
 // DESIGN.md §10 documents what each analyzer guards and its kernel
 // analog; the runtime complement (the KASAN/kmemleak-analog sanitizer)
@@ -44,7 +64,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"sort"
 	"strings"
 )
 
@@ -80,15 +99,48 @@ type Pass struct {
 	Pkg *Package
 
 	diags *[]Diagnostic
-	// markers maps marker name -> file line numbers the marker covers,
-	// built lazily from the package's comments.
-	markers map[string]map[markerKey]bool
+	audit *MarkerAudit
+	// markers maps marker name -> marker table, built lazily from the
+	// package's comments.
+	markers map[string]markerTable
 }
 
-// markerKey identifies one covered source line.
+// markerKey identifies one source line.
 type markerKey struct {
 	file string
 	line int
+}
+
+// A markerTable maps each covered source line to the location of the
+// marker comment covering it.
+type markerTable map[markerKey]markerKey
+
+// A MarkerAudit records which marker comments actually suppressed a
+// diagnostic during a run. Analyzers consult Marked only once a
+// diagnostic is otherwise certain, so a marker with no recorded hit
+// after the full suite has run no longer suppresses anything — it is
+// stale, and the suppression audit flags it.
+type MarkerAudit struct {
+	used map[markerKey]bool
+}
+
+// NewMarkerAudit returns an empty audit ready to record marker hits.
+func NewMarkerAudit() *MarkerAudit {
+	return &MarkerAudit{used: make(map[markerKey]bool)}
+}
+
+// hit records that the marker comment at loc suppressed a diagnostic.
+// Safe on a nil audit.
+func (a *MarkerAudit) hit(loc markerKey) {
+	if a != nil {
+		a.used[loc] = true
+	}
+}
+
+// Used reports whether the marker comment at file:line suppressed any
+// diagnostic.
+func (a *MarkerAudit) Used(file string, line int) bool {
+	return a != nil && a.used[markerKey{file: file, line: line}]
 }
 
 // Reportf records a diagnostic at pos.
@@ -103,63 +155,68 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Marked reports whether a "//klocs:<name>" marker comment covers the
 // line of pos. A marker covers its own line (trailing comment) and,
 // when it stands alone, the line after it — the same placement rules
-// as nolint-style directives.
+// as nolint-style directives. Analyzers must consult Marked only once
+// a diagnostic is otherwise certain: a positive answer is recorded
+// with the pass's audit (when armed) as proof the marker still earns
+// its keep.
 func (p *Pass) Marked(name string, pos token.Pos) bool {
 	if p.markers == nil {
-		p.markers = make(map[string]map[markerKey]bool)
+		p.markers = make(map[string]markerTable)
 	}
-	set, ok := p.markers[name]
+	table, ok := p.markers[name]
 	if !ok {
-		set = p.collectMarkers(name)
-		p.markers[name] = set
+		table = collectMarkerTable(p.Pkg, name)
+		p.markers[name] = table
 	}
 	at := p.Pkg.Fset.Position(pos)
-	return set[markerKey{file: at.Filename, line: at.Line}]
+	markerAt, covered := table[markerKey{file: at.Filename, line: at.Line}]
+	if covered {
+		p.audit.hit(markerAt)
+	}
+	return covered
 }
 
-func (p *Pass) collectMarkers(name string) map[markerKey]bool {
-	set := make(map[markerKey]bool)
+// collectMarkerTable builds the covered-line table for one marker
+// name over one package.
+func collectMarkerTable(pkg *Package, name string) markerTable {
+	table := make(markerTable)
 	want := "//klocs:" + name
-	for _, file := range p.Pkg.Files {
+	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				if c.Text != want && !strings.HasPrefix(c.Text, want+" ") {
 					continue
 				}
-				at := p.Pkg.Fset.Position(c.Pos())
-				set[markerKey{file: at.Filename, line: at.Line}] = true
+				at := pkg.Fset.Position(c.Pos())
+				loc := markerKey{file: at.Filename, line: at.Line}
+				table[loc] = loc
 				// A standalone marker annotates the next line.
-				set[markerKey{file: at.Filename, line: at.Line + 1}] = true
+				table[markerKey{file: at.Filename, line: at.Line + 1}] = loc
 			}
 		}
 	}
-	return set
+	return table
 }
 
 // RunAnalyzers applies the analyzers to the package and returns the
 // combined diagnostics sorted by position then analyzer name, so
 // driver output is deterministic.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersAudited(pkg, analyzers, nil)
+}
+
+// RunAnalyzersAudited is RunAnalyzers with marker-hit recording: every
+// suppression any analyzer honors is logged with audit, feeding the
+// stale-marker report of AuditSuppressions. audit may be nil.
+func RunAnalyzersAudited(pkg *Package, analyzers []*Analyzer, audit *MarkerAudit) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, audit: audit}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	sortDiagnostics(diags)
 	return diags, nil
 }
 

@@ -68,6 +68,34 @@ func CheckExpectations(pkg *Package, a *Analyzer) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	return diffExpectations(diags, wants), nil
+}
+
+// CheckModuleExpectations is CheckExpectations for module analyzers:
+// it builds a Module over pkgs, runs the analyzer through the
+// interprocedural driver path, and diffs the diagnostics against the
+// packages' combined `// want` comments.
+func CheckModuleExpectations(pkgs []*Package, a *ModuleAnalyzer) ([]string, error) {
+	m := NewModule(pkgs)
+	diags, err := RunModuleAnalyzers(m, []*ModuleAnalyzer{a}, nil)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		w, err := Expectations(pkg)
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, w...)
+	}
+	return diffExpectations(diags, wants), nil
+}
+
+// diffExpectations matches diagnostics against expectations by file
+// and line. Each expectation consumes at most one diagnostic, so a
+// line that produces two diagnostics needs two `// want` patterns.
+func diffExpectations(diags []Diagnostic, wants []*expectation) []string {
 	var problems []string
 	for _, d := range diags {
 		matched := false
@@ -90,5 +118,5 @@ func CheckExpectations(pkg *Package, a *Analyzer) ([]string, error) {
 			problems = append(problems, fmt.Sprintf("no diagnostic matched want %q at %s:%d", w.pattern.String(), filepath.Base(w.file), w.line))
 		}
 	}
-	return problems, nil
+	return problems
 }

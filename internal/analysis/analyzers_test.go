@@ -70,29 +70,33 @@ func TestModuleTargets(t *testing.T) {
 	}
 }
 
-// TestModuleIsClean runs the full suite over every lintable package of
-// the module — the in-test equivalent of `make lint` passing.
+// TestModuleIsClean runs the full suite — per-package analyzers, the
+// interprocedural module analyzers, and the suppression audit — over
+// every lintable package of the module: the in-test equivalent of
+// `make lint` passing.
 func TestModuleIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	l := testLoader(t)
-	targets, err := ModuleTargets(l.ModuleDir, l.ModulePath)
-	if err != nil {
-		t.Fatalf("ModuleTargets: %v", err)
+	pkgs := loadModulePackages(t)
+	audit := NewMarkerAudit()
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzersAudited(pkg, All(), audit)
+		if err != nil {
+			t.Fatalf("run %s: %v", pkg.Path, err)
+		}
+		all = append(all, diags...)
 	}
-	for _, tgt := range targets {
-		pkg, err := l.Load(tgt.Dir, tgt.ImportPath)
-		if err != nil {
-			t.Fatalf("load %s: %v", tgt.ImportPath, err)
-		}
-		diags, err := RunAnalyzers(pkg, All())
-		if err != nil {
-			t.Fatalf("run %s: %v", tgt.ImportPath, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s", d)
-		}
+	m := NewModule(pkgs)
+	diags, err := RunModuleAnalyzers(m, AllModule(), audit)
+	if err != nil {
+		t.Fatalf("run module analyzers: %v", err)
+	}
+	all = append(all, diags...)
+	all = append(all, AuditSuppressions(pkgs, audit)...)
+	for _, d := range all {
+		t.Errorf("%s", d)
 	}
 }
 

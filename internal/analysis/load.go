@@ -46,6 +46,13 @@ type Loader struct {
 	// pkgs memoizes type-checked packages by import path so shared
 	// dependencies check once per loader.
 	pkgs map[string]*types.Package
+	// full memoizes module-internal packages with their syntax and
+	// types.Info. Module packages are always checked in full so a
+	// package loaded as a dependency and the same package loaded for
+	// analysis share one set of type objects — the call graph resolves
+	// cross-package references by object identity and would silently
+	// classify every module call as external if the two loads diverged.
+	full map[string]*Package
 	// loading guards against import cycles.
 	loading map[string]bool
 }
@@ -72,6 +79,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		std:        std,
 		pkgs:       make(map[string]*types.Package),
+		full:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -135,12 +143,24 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	}
 	l.loading[path] = true
 	defer delete(l.loading, path)
-	pkg, err := l.check(moduleDir, path, nil)
+	pkg, err := l.check(moduleDir, path, newTypesInfo())
 	if err != nil {
 		return nil, err
 	}
+	l.full[path] = pkg
 	l.pkgs[path] = pkg.Types
 	return pkg.Types, nil
+}
+
+// newTypesInfo allocates the info maps one full check populates.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
 }
 
 // moduleDirOf maps a module-internal import path to its directory.
@@ -158,20 +178,20 @@ func (l *Loader) moduleDirOf(path string) (string, bool) {
 // returning syntax and type information for analysis. Unlike Import,
 // the result carries ASTs, comments, and a populated types.Info.
 func (l *Loader) Load(dir, importPath string) (*Package, error) {
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
+	// A module package already checked (directly or as a dependency of
+	// an earlier target) is returned as-is: re-checking would mint a
+	// second set of type objects and break cross-package identity.
+	if pkg := l.full[importPath]; pkg != nil {
+		return pkg, nil
 	}
-	pkg, err := l.check(dir, importPath, info)
+	pkg, err := l.check(dir, importPath, newTypesInfo())
 	if err != nil {
 		return nil, err
 	}
 	// Register so later targets importing this package reuse the
 	// checked result instead of re-checking from source.
-	if _, ok := l.moduleDirOf(importPath); ok && l.pkgs[importPath] == nil {
+	if _, ok := l.moduleDirOf(importPath); ok {
+		l.full[importPath] = pkg
 		l.pkgs[importPath] = pkg.Types
 	}
 	return pkg, nil

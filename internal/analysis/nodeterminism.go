@@ -102,9 +102,6 @@ func checkMapRanges(pass *Pass) {
 }
 
 func checkOneMapRange(pass *Pass, rs *ast.RangeStmt, next ast.Stmt) {
-	if pass.Marked("unordered", rs.Pos()) {
-		return
-	}
 	c := &orderChecker{info: pass.Pkg.Info, locals: make(map[types.Object]bool)}
 	c.noteRangeVars(rs)
 	if c.commutativeBody(rs.Body) {
@@ -113,6 +110,12 @@ func checkOneMapRange(pass *Pass, rs *ast.RangeStmt, next ast.Stmt) {
 	// Collect-then-sort: the body only appends map elements to slices,
 	// and the statement immediately after the loop sorts.
 	if c.collectBody(rs.Body) && isSortCall(pass.Pkg.Info, next) {
+		return
+	}
+	// Marked comes last: the diagnostic is certain here, so a positive
+	// answer proves the marker still suppresses something (the
+	// suppression audit depends on that ordering).
+	if pass.Marked("unordered", rs.Pos()) {
 		return
 	}
 	pass.Reportf(rs.Pos(), "range over map: iteration order is nondeterministic and the body lets it escape; sort the keys first, keep the body commutative, or annotate //klocs:unordered with a justification")

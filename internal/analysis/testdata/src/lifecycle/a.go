@@ -1,0 +1,111 @@
+// Package fixture carries deliberate lifecycle violations for the
+// interprocedural analyzer tests; the go tool never builds testdata
+// trees.
+package fixture
+
+// Buf is the tracked object shape: allocators hand out pointers.
+type Buf struct {
+	data []byte
+	next *Buf
+}
+
+var pool []*Buf
+
+// AllocBuf follows the allocator naming convention.
+func AllocBuf() *Buf { return &Buf{} }
+
+// AllocChecked is an allocator with a companion error result.
+func AllocChecked() (*Buf, error) { return &Buf{}, nil }
+
+// FreeBuf follows the teardown naming convention.
+func FreeBuf(b *Buf) {
+	pool = append(pool, b)
+}
+
+// consume is not named like a teardown: callers learn that it frees
+// its argument only through its computed summary.
+func consume(b *Buf) {
+	FreeBuf(b)
+}
+
+// newWrapped launders the allocator through a helper: the bottom-up
+// summary still marks its result as a fresh allocation.
+func newWrapped() *Buf {
+	return AllocBuf()
+}
+
+// doubleFree releases the same buffer twice on a straight-line path.
+func doubleFree() {
+	b := AllocBuf()
+	FreeBuf(b)
+	FreeBuf(b) // want "double free of b: already freed"
+}
+
+// doubleFreeViaHelper frees through the helper's summary, then again
+// directly.
+func doubleFreeViaHelper() {
+	b := AllocBuf()
+	consume(b)
+	FreeBuf(b) // want "double free of b: already freed"
+}
+
+// freedOnSomePaths frees only on the flush branch, so the join at the
+// return sees both a freed and a live state.
+func freedOnSomePaths(flush bool) {
+	b := AllocBuf()
+	if flush {
+		FreeBuf(b)
+	}
+	return // want "is freed on only some paths reaching this return"
+}
+
+// leakOnEarlyReturn forgets the buffer on the error exit.
+func leakOnEarlyReturn(n int) int {
+	b := AllocBuf()
+	if n < 0 {
+		return 0 // want "leaks on this return path"
+	}
+	FreeBuf(b)
+	return n
+}
+
+// leakViaHelper leaks a buffer allocated through newWrapped: the
+// allocator property crosses the call boundary.
+func leakViaHelper(n int) int {
+	w := newWrapped()
+	if n > 0 {
+		return n // want "leaks on this return path"
+	}
+	FreeBuf(w)
+	return 0
+}
+
+// checkedPath handles the failure branch: the err-link refinement
+// keeps the early error return from reporting a leak. No diagnostics.
+func checkedPath() error {
+	b, err := AllocChecked()
+	if err != nil {
+		return err
+	}
+	FreeBuf(b)
+	return nil
+}
+
+// escaped hands the buffer to package state: tracking drops it, so
+// the return is not a leak. No diagnostics.
+func escaped(head *Buf) {
+	b := AllocBuf()
+	head.next = b
+	return
+}
+
+// parked leaks by design; the marker documents the external teardown.
+func parked(n int) int {
+	b := AllocBuf()
+	if n == 0 {
+		//klocs:ignore-lifecycle fixture: teardown owned by the harness
+		return 0
+	}
+	FreeBuf(b)
+	return n
+}

@@ -1,0 +1,27 @@
+// Package fixture carries deliberate tracereach violations for the
+// interprocedural analyzer tests; the go tool never builds testdata
+// trees.
+package fixture
+
+import "kloc/internal/trace"
+
+// The catalog under audit: constants of type trace.Name.
+const (
+	evAlive  trace.Name = "fixture.alive"
+	evDead   trace.Name = "fixture.dead"   // want "has no reachable Tracer.Emit site"
+	evBuried trace.Name = "fixture.buried" // want "has no reachable Tracer.Emit site"
+	//klocs:ignore-tracereach fixture: reserved for the in-flight subsystem
+	evReserved trace.Name = "fixture.reserved"
+)
+
+// Publish is exported, so its Emit site is reachable and keeps
+// evAlive live.
+func Publish(t *trace.Tracer) {
+	t.Emit(evAlive, 0, 0, 0, "fixture", 0, 0)
+}
+
+// buried emits evBuried, but nothing reachable calls it: an Emit site
+// in dead code does not keep its catalog entry alive.
+func buried(t *trace.Tracer) {
+	t.Emit(evBuried, 0, 0, 0, "fixture", 0, 0)
+}

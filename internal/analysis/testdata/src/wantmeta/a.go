@@ -1,0 +1,24 @@
+// Package fixture exists to prove the `// want` harness itself fails
+// loudly: the expectations below are deliberately wrong, and the meta
+// test asserts CheckExpectations reports every mismatch. It is never
+// checked for zero problems the way the other fixtures are.
+package fixture
+
+import "errors"
+
+var errStub = errors.New("stub")
+
+func mayFail() error { return errStub }
+
+// drops produces a real diagnostic, but the pattern below does not
+// match it: the harness must report both the unexpected diagnostic
+// and the unmatched expectation.
+func drops() {
+	mayFail() // want "this pattern matches nothing"
+}
+
+// clean produces no diagnostic, so the expectation below is a phantom
+// the harness must flag.
+func clean() error {
+	return mayFail() // want "phantom diagnostic expected here"
+}

@@ -42,6 +42,12 @@ const (
 	EBUSY
 	// EINVAL: invalid argument (e.g. a slab object size out of range).
 	EINVAL
+	// ENOENT: no such entry (a path lookup missed, an inode number is
+	// not allocated).
+	ENOENT
+	// EBADF: operation on a closed or invalid descriptor (socket or
+	// file already torn down).
+	EBADF
 )
 
 func (e Errno) Error() string {
@@ -56,6 +62,10 @@ func (e Errno) Error() string {
 		return "EBUSY: device or resource busy"
 	case EINVAL:
 		return "EINVAL: invalid argument"
+	case ENOENT:
+		return "ENOENT: no such file or directory"
+	case EBADF:
+		return "EBADF: bad file descriptor"
 	default:
 		return fmt.Sprintf("errno(%d)", uint8(e))
 	}

@@ -15,6 +15,7 @@ import (
 
 	"kloc/internal/alloc"
 	"kloc/internal/blockdev"
+	"kloc/internal/fault"
 	"kloc/internal/kobj"
 	"kloc/internal/kstate"
 	"kloc/internal/memsim"
@@ -368,7 +369,9 @@ func (f *FS) InodeByNum(ino uint64) (*Inode, bool) {
 }
 
 // errNotFound reports a missing path.
-func errNotFound(path string) error { return fmt.Errorf("fs: %s: no such file", path) }
+func errNotFound(path string) error {
+	return fmt.Errorf("fs: %s: no such file: %w", path, fault.ENOENT)
+}
 
 // CachePages reports total page-cache pages across all inodes.
 func (f *FS) CachePages() int {

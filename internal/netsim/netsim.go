@@ -331,7 +331,7 @@ func (n *Net) freePacket(ctx *kstate.Ctx, p *Packet) {
 // completion (the short-lived egress population).
 func (n *Net) Send(ctx *kstate.Ctx, s *Socket, bytes int) error {
 	if !s.Open {
-		return fmt.Errorf("netsim: send on closed socket %d", s.Ino)
+		return fmt.Errorf("netsim: send on closed socket %d: %w", s.Ino, fault.EBADF)
 	}
 	ctx.Charge(syscallEntryCost)
 	n.touchObj(ctx, s.sockObj, 0, true)
@@ -431,7 +431,7 @@ func (n *Net) Deliver(ctx *kstate.Ctx, s *Socket, bytes int) error {
 // driver could not attribute. Returns bytes received.
 func (n *Net) Recv(ctx *kstate.Ctx, s *Socket, maxBytes int) (int, error) {
 	if !s.Open {
-		return 0, fmt.Errorf("netsim: recv on closed socket %d", s.Ino)
+		return 0, fmt.Errorf("netsim: recv on closed socket %d: %w", s.Ino, fault.EBADF)
 	}
 	ctx.Charge(syscallEntryCost)
 	n.touchObj(ctx, s.sockObj, 0, false)
