@@ -8,6 +8,7 @@
 //	klocbench -exp fig4                 # one experiment
 //	klocbench -exp fig4,fig5a           # a comma-separated list
 //	klocbench -exp all                  # the full evaluation
+//	klocbench -exp cluster              # serving-plane sweep -> BENCH_cluster.json
 //	klocbench -exp fig4 -quick          # reduced duration
 //	klocbench -run -policy klocs -workload rocksdb   # one raw run
 //	klocbench -run -trace run.json      # raw run + Chrome trace export
@@ -42,6 +43,7 @@ func main() {
 		traceFile   = flag.String("trace", "", "with -run: write the run's trace to this file (.json = Chrome trace-event format, else text; see OBSERVABILITY.md)")
 		traceEvents = flag.String("trace-events", "", "comma-separated event-name patterns to trace (\"alloc.*,oom.spill\"); empty traces the full catalog")
 		sanitize    = flag.Bool("sanitize", false, "with -run: arm the KASAN/kmemleak-analog sanitizer; findings fail the run (exit 1)")
+		benchOut    = flag.String("bench-out", "BENCH_cluster.json", "with -exp cluster: write the machine-readable sweep to this file")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -128,6 +130,12 @@ func main() {
 		usageError(err)
 	}
 	for _, name := range names {
+		if name == "cluster" {
+			if err := runClusterBench(opts, *benchOut); err != nil {
+				fatal(fmt.Errorf("cluster: %w", err))
+			}
+			continue
+		}
 		table, err := kloc.Experiment(name, opts)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
@@ -136,13 +144,33 @@ func main() {
 	}
 }
 
+// runClusterBench executes the cluster serving-plane sweep and writes
+// the machine-readable report beside the rendered table.
+func runClusterBench(opts kloc.Options, out string) error {
+	table, rep, err := kloc.ClusterBench(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table)
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster sweep written to %s\n", out)
+	return nil
+}
+
 // usage enumerates every flag; the satellite fix for the old help text
 // that documented only a subset.
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
 		"usage: klocbench -exp <id>[,<id>...] [-quick] [-duration-ms N] [-seed N] [-scale N]\n"+
 			"       klocbench -run [-policy P] [-workload W] [-optane] [-sanitize] [-trace FILE [-trace-events GLOBS]]\n\n"+
-			"experiments: %s (or 'all')\n\nflags:\n",
+			"experiments: %s (or 'all'); 'cluster' runs the serving-plane\n"+
+			"sweep and writes BENCH_cluster.json (see -bench-out)\n\nflags:\n",
 		strings.Join(kloc.ExperimentNames(), ", "))
 	flag.PrintDefaults()
 }
@@ -183,12 +211,14 @@ func writeTrace(t *kloc.Tracer, path string) error {
 // resolveExperiments expands the -exp flag into experiment IDs: "all",
 // a single ID, or a comma-separated list. Unknown IDs are rejected up
 // front with the valid set, so a typo fails fast instead of after an
-// hour of earlier experiments.
+// hour of earlier experiments. The "cluster" sweep is addressable by
+// name but deliberately outside "all": it reports serving-plane
+// metrics (goodput, availability), not the paper's figures.
 func resolveExperiments(exp string) ([]string, error) {
 	if exp == "all" {
 		return kloc.ExperimentNames(), nil
 	}
-	valid := make(map[string]bool)
+	valid := map[string]bool{"cluster": true}
 	for _, n := range kloc.ExperimentNames() {
 		valid[n] = true
 	}
@@ -199,13 +229,13 @@ func resolveExperiments(exp string) ([]string, error) {
 			continue
 		}
 		if !valid[n] {
-			return nil, fmt.Errorf("unknown experiment %q (valid: %s, or 'all')",
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, cluster, or 'all')",
 				n, strings.Join(kloc.ExperimentNames(), ", "))
 		}
 		names = append(names, n)
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no experiment named (valid: %s, or 'all')",
+		return nil, fmt.Errorf("no experiment named (valid: %s, cluster, or 'all')",
 			strings.Join(kloc.ExperimentNames(), ", "))
 	}
 	return names, nil

@@ -37,6 +37,7 @@ var ErrnoFlow = &ModuleAnalyzer{
 var errnoScopePaths = map[string]bool{
 	"kloc/internal/alloc":    true,
 	"kloc/internal/blockdev": true,
+	"kloc/internal/cluster":  true,
 	"kloc/internal/fs":       true,
 	"kloc/internal/kernel":   true,
 	"kloc/internal/memsim":   true,

@@ -12,6 +12,10 @@ const (
 	evBuried trace.Name = "fixture.buried" // want "has no reachable Tracer.Emit site"
 	//klocs:ignore-tracereach fixture: reserved for the in-flight subsystem
 	evReserved trace.Name = "fixture.reserved"
+	// A serving-plane-style event that was cataloged but never wired to
+	// the balancer: exactly the regression the cluster lb.* constants
+	// would hit if an Emit call were dropped.
+	evLBStale trace.Name = "fixture.lb.stale" // want "has no reachable Tracer.Emit site"
 )
 
 // Publish is exported, so its Emit site is reachable and keeps

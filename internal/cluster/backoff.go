@@ -1,0 +1,63 @@
+package cluster
+
+import "kloc/internal/sim"
+
+// BackoffConfig parameterizes the client retry schedule: capped
+// exponential growth with seeded jitter. Jitter is the load-bearing
+// half — after a machine crash every in-flight request fails at the
+// same instant, and without jitter their retries arrive as a synchronized
+// convoy that re-overloads the next backend (the classic retry storm).
+type BackoffConfig struct {
+	// Base is the nominal first-retry delay (default 100 µs).
+	Base sim.Duration
+	// Cap bounds the grown delay (default 1 ms).
+	Cap sim.Duration
+	// Mult is the per-attempt growth factor (default 2).
+	Mult float64
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 100 * sim.Microsecond
+	}
+	if c.Cap <= 0 {
+		c.Cap = sim.Millisecond
+	}
+	if c.Mult < 1 {
+		c.Mult = 2
+	}
+	return c
+}
+
+// Backoff computes retry delays. The zero value uses the defaults.
+type Backoff struct {
+	cfg BackoffConfig
+}
+
+// NewBackoff builds a backoff schedule from a config.
+func NewBackoff(cfg BackoffConfig) Backoff {
+	return Backoff{cfg: cfg.withDefaults()}
+}
+
+// Delay returns the wait before retry number attempt (1-based: the
+// delay after the first failed attempt is Delay(1)). The grown delay
+// d is equal-jittered: the result is uniform in [d/2, d], drawn from
+// the caller's seeded stream — same seed, same schedule.
+func (b Backoff) Delay(attempt int, r *sim.RNG) sim.Duration {
+	cfg := b.cfg.withDefaults()
+	d := float64(cfg.Base)
+	for i := 1; i < attempt; i++ {
+		d *= cfg.Mult
+		if d >= float64(cfg.Cap) {
+			break
+		}
+	}
+	if d > float64(cfg.Cap) {
+		d = float64(cfg.Cap)
+	}
+	half := sim.Duration(d) / 2
+	if half < 1 {
+		half = 1
+	}
+	return half + sim.Duration(r.Int63n(int64(half)+1))
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import "kloc/internal/sim"
+
+// BreakerState is one circuit-breaker state.
+type BreakerState uint8
+
+// The circuit breaker's three states.
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend is presumed down; requests are refused
+	// without being sent until the cooloff expires.
+	BreakerOpen
+	// BreakerHalfOpen: the cooloff expired; a bounded number of probe
+	// requests test the backend. One success closes the breaker, one
+	// failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state for traces and reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig parameterizes a per-backend circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailThreshold int
+	// Cooloff is how long the breaker stays open before admitting
+	// half-open probes (default 1 ms).
+	Cooloff sim.Duration
+	// HalfOpenProbes bounds concurrent trial requests while half-open
+	// (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.Cooloff <= 0 {
+		c.Cooloff = sim.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after
+// FailThreshold consecutive failures, open → half-open after Cooloff,
+// half-open → closed on a probe success or back to open on a probe
+// failure. Time is passed in explicitly (virtual time), so the type is
+// directly unit-testable without an engine.
+type Breaker struct {
+	cfg    BreakerConfig
+	state  BreakerState
+	fails  int
+	until  sim.Time // while open: when half-open probes are admitted
+	probes int      // while half-open: outstanding trial requests
+
+	// Opens counts closed/half-open → open transitions; Closes counts
+	// half-open → closed transitions.
+	Opens, Closes uint64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the current state, transitioning open → half-open if
+// the cooloff has expired by now.
+func (b *Breaker) State(now sim.Time) BreakerState {
+	if b.state == BreakerOpen && now >= b.until {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	return b.state
+}
+
+// Allow reports whether a request may be routed to this backend at
+// virtual time now. It does not consume half-open probe budget — call
+// OnDispatch when a request is actually sent.
+func (b *Breaker) Allow(now sim.Time) bool {
+	switch b.State(now) {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return b.probes < b.cfg.HalfOpenProbes
+	default:
+		return false
+	}
+}
+
+// OnDispatch records that a request was sent to the backend,
+// consuming one half-open probe slot if applicable.
+func (b *Breaker) OnDispatch(now sim.Time) {
+	if b.State(now) == BreakerHalfOpen {
+		b.probes++
+	}
+}
+
+// OnSuccess records a request outcome: a half-open probe success
+// closes the breaker; any success resets the failure streak.
+func (b *Breaker) OnSuccess(now sim.Time) {
+	switch b.State(now) {
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.fails = 0
+		b.probes = 0
+		b.Closes++
+	default:
+		b.fails = 0
+	}
+}
+
+// OnFailure records a failed request: a half-open probe failure
+// reopens immediately; the FailThreshold-th consecutive failure while
+// closed opens the breaker.
+func (b *Breaker) OnFailure(now sim.Time) {
+	switch b.State(now) {
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.open(now)
+		}
+	}
+}
+
+func (b *Breaker) open(now sim.Time) {
+	b.state = BreakerOpen
+	b.until = now.Add(b.cfg.Cooloff)
+	b.fails = 0
+	b.probes = 0
+	b.Opens++
+}

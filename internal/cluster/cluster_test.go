@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+func TestBreakerTransitions(t *testing.T) {
+	br := NewBreaker(BreakerConfig{FailThreshold: 3, Cooloff: sim.Millisecond, HalfOpenProbes: 1})
+	now := sim.Time(0)
+	if got := br.State(now); got != BreakerClosed {
+		t.Fatalf("initial state %v, want closed", got)
+	}
+	// Failures below the threshold keep it closed; a success resets the
+	// streak.
+	br.OnFailure(now)
+	br.OnFailure(now)
+	br.OnSuccess(now)
+	br.OnFailure(now)
+	br.OnFailure(now)
+	if got := br.State(now); got != BreakerClosed {
+		t.Fatalf("state after interrupted streak %v, want closed", got)
+	}
+	// The threshold-th consecutive failure opens it.
+	br.OnFailure(now)
+	if got := br.State(now); got != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures %v, want open", got)
+	}
+	if br.Allow(now) {
+		t.Fatal("open breaker allowed a request")
+	}
+	// Cooloff expiry → half-open with a bounded probe budget.
+	now = now.Add(sim.Millisecond)
+	if got := br.State(now); got != BreakerHalfOpen {
+		t.Fatalf("state after cooloff %v, want half-open", got)
+	}
+	if !br.Allow(now) {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	br.OnDispatch(now)
+	if br.Allow(now) {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	// Probe failure reopens; the next cooloff + probe success closes.
+	br.OnFailure(now)
+	if got := br.State(now); got != BreakerOpen {
+		t.Fatalf("state after probe failure %v, want open", got)
+	}
+	now = now.Add(sim.Millisecond)
+	br.OnDispatch(now)
+	br.OnSuccess(now)
+	if got := br.State(now); got != BreakerClosed {
+		t.Fatalf("state after probe success %v, want closed", got)
+	}
+	if br.Opens != 2 || br.Closes != 1 {
+		t.Fatalf("opens=%d closes=%d, want 2 and 1", br.Opens, br.Closes)
+	}
+}
+
+func TestBackoffDeterminism(t *testing.T) {
+	bo := NewBackoff(BackoffConfig{Base: 100 * sim.Microsecond, Cap: sim.Millisecond})
+	draw := func(seed uint64) []sim.Duration {
+		r := sim.NewRNG(seed)
+		out := make([]sim.Duration, 0, 8)
+		for a := 1; a <= 8; a++ {
+			out = append(out, bo.Delay(a, r))
+		}
+		return out
+	}
+	x, y := draw(7), draw(7)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("delay %d diverged at same seed: %v vs %v", i, x[i], y[i])
+		}
+	}
+	z := draw(8)
+	same := true
+	for i := range x {
+		if x[i] != z[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical backoff schedules")
+	}
+	// Jitter bounds: attempt n's delay lies in [d/2, d] for the grown,
+	// capped d.
+	r := sim.NewRNG(9)
+	for a := 1; a <= 10; a++ {
+		d := sim.Duration(100*sim.Microsecond) << (a - 1)
+		if d > sim.Millisecond {
+			d = sim.Millisecond
+		}
+		got := bo.Delay(a, r)
+		if got < d/2 || got > d {
+			t.Fatalf("attempt %d delay %v outside [%v, %v]", a, got, d/2, d)
+		}
+	}
+}
+
+// estimateOnce caches the calibration run: machine setup is the slow
+// part of every cluster test.
+var (
+	estOnce sync.Once
+	estCost sim.Duration
+	estErr  error
+)
+
+func testConfig() Config {
+	return Config{
+		Machines: 2,
+		Workers:  2,
+		ScaleDiv: 256,
+		Workload: "redis",
+		Rate:     1, // callers override
+		Duration: 20 * sim.Millisecond,
+		Warmup:   2 * sim.Millisecond,
+	}
+}
+
+func serviceCost(t *testing.T) sim.Duration {
+	t.Helper()
+	estOnce.Do(func() {
+		estCost, estErr = EstimateServiceCost(testConfig())
+	})
+	if estErr != nil {
+		t.Fatal(estErr)
+	}
+	return estCost
+}
+
+// rateFor returns an offered rate loading the test fleet at the given
+// factor of its estimated capacity.
+func rateFor(t *testing.T, cfg Config, load float64) float64 {
+	cost := serviceCost(t)
+	capacity := float64(cfg.Machines*cfg.Workers) / cost.Seconds()
+	return load * capacity
+}
+
+func TestClusterReplayByteIdentical(t *testing.T) {
+	run := func() (string, string) {
+		cfg := testConfig()
+		cfg.Route = "kloc"
+		cfg.Rate = rateFor(t, cfg, 0.7)
+		cfg.Faults = []MachineFault{{Machine: 1, Kind: FaultCrash, At: 8 * sim.Millisecond}}
+		cfg.RestartDelay = 4 * sim.Millisecond
+		cfg.Trace = &trace.Config{}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := c.Tracer().WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return rep.String(), sb.String()
+	}
+	rep1, tr1 := run()
+	rep2, tr2 := run()
+	if rep1 != rep2 {
+		t.Fatalf("same-seed reports differ:\n%s\nvs\n%s", rep1, rep2)
+	}
+	if tr1 != tr2 {
+		t.Fatal("same-seed trace exports differ")
+	}
+	if len(tr1) == 0 {
+		t.Fatal("trace export is empty")
+	}
+}
+
+// TestHedgingCancelsLoser: with one machine degraded far past the
+// hedge delay, hedges fire, the healthy machine wins, and the loser's
+// eventual completion is counted as wasted work.
+func TestHedgingCancelsLoser(t *testing.T) {
+	cfg := testConfig()
+	cfg.Route = "round-robin"
+	cfg.Rate = rateFor(t, cfg, 0.2)
+	cfg.HedgeAfter = 20 * sim.Microsecond
+	cfg.Timeout = 50 * sim.Millisecond // keep timeouts out of the picture
+	cfg.DegradeFactor = 400
+	cfg.DegradeFor = 40 * sim.Millisecond // the whole run
+	cfg.Faults = []MachineFault{{Machine: 1, Kind: FaultDegrade, At: 0}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Hedges == 0 {
+		t.Fatalf("no hedges fired: %+v", s)
+	}
+	if s.HedgeWins == 0 {
+		t.Fatalf("no hedge ever won against a 400x-degraded backend: %+v", s)
+	}
+	if s.WastedWork == 0 {
+		t.Fatalf("hedge losers' service was never counted as wasted: %+v", s)
+	}
+}
+
+func TestShedUnderOverload(t *testing.T) {
+	cfg := testConfig()
+	cfg.Route = "kloc"
+	cfg.Rate = rateFor(t, cfg, 5)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Shed == 0 {
+		t.Fatalf("5x overload shed nothing: %+v", s)
+	}
+	if s.ShedCold == 0 {
+		t.Fatalf("kloc shedding never hit the cold-context threshold: %+v", s)
+	}
+	if s.Completed == 0 {
+		t.Fatalf("overloaded cluster completed nothing: %+v", s)
+	}
+}
+
+// TestTimeoutsExhaustAttempts: a single 500x-degraded machine cannot
+// answer inside the client deadline, so requests time out, retry into
+// the same machine, and finally fail with ETIMEDOUT.
+func TestTimeoutsExhaustAttempts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Machines = 1
+	cfg.Route = "round-robin"
+	cfg.Rate = rateFor(t, cfg, 0.1)
+	cfg.Timeout = 200 * sim.Microsecond
+	cfg.HedgeAfter = -1 // disabled: isolate the timeout path
+	cfg.DegradeFactor = 500
+	cfg.DegradeFor = 40 * sim.Millisecond
+	cfg.Faults = []MachineFault{{Machine: 0, Kind: FaultDegrade, At: 0}}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Timeouts == 0 {
+		t.Fatalf("no attempt ever timed out: %+v", s)
+	}
+	if s.FailedTimeout == 0 {
+		t.Fatalf("no request failed with ETIMEDOUT after exhausting attempts: %+v", s)
+	}
+	if s.WastedWork == 0 {
+		t.Fatalf("abandoned services were never counted as wasted: %+v", s)
+	}
+}
+
+// TestCrashWindowRecovery: a mid-run crash ejects the machine, fails
+// over traffic, and the fleet re-admits it after restart.
+func TestCrashWindowRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.Route = "least-loaded"
+	cfg.Rate = rateFor(t, cfg, 0.5)
+	cfg.Faults = []MachineFault{{Machine: 0, Kind: FaultCrash, At: 6 * sim.Millisecond}}
+	cfg.RestartDelay = 5 * sim.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Crashes != 1 || s.Restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1 and 1", s.Crashes, s.Restarts)
+	}
+	if s.Ejections == 0 {
+		t.Fatalf("health checker never ejected the crashed machine: %+v", s)
+	}
+	if s.Readmissions == 0 {
+		t.Fatalf("health checker never re-admitted the restarted machine: %+v", s)
+	}
+	if s.FaultArrivals == 0 {
+		t.Fatal("no arrivals landed in the fault window")
+	}
+	if rep.Availability < 0.5 {
+		t.Fatalf("availability %.3f through a single-machine crash, want >= 0.5\n%s",
+			rep.Availability, rep)
+	}
+	if rep.FaultAvailability <= 0 {
+		t.Fatalf("nothing completed during the fault window: %+v", s)
+	}
+}

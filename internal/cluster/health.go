@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+// HealthConfig parameterizes the balancer's active health checker.
+type HealthConfig struct {
+	// Interval between probes of each machine (default 500 µs).
+	Interval sim.Duration
+	// FailAfter consecutive probe failures eject the machine from the
+	// routable set (default 2).
+	FailAfter int
+	// ReadmitAfter consecutive probe successes re-admit it (default 2).
+	ReadmitAfter int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * sim.Microsecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	return c
+}
+
+// healthChecker actively probes every machine on a fixed period and
+// maintains the balancer's routable set: FailAfter consecutive failed
+// probes eject a machine, ReadmitAfter successes bring it back. Probes
+// consult the machine's fault plane, so a scheduled crash on an idle
+// machine is discovered within one probe period.
+type healthChecker struct {
+	c    *Cluster
+	cfg  HealthConfig
+	fail []int // consecutive failed probes per machine
+	ok   []int // consecutive successful probes per machine
+}
+
+func newHealthChecker(c *Cluster) *healthChecker {
+	return &healthChecker{
+		c:    c,
+		cfg:  c.cfg.Health.withDefaults(),
+		fail: make([]int, len(c.machines)),
+		ok:   make([]int, len(c.machines)),
+	}
+}
+
+// start schedules the probe loops, staggered one microsecond apart so
+// probes of different machines never tie in the event queue.
+func (h *healthChecker) start(e *sim.Engine, at sim.Time) {
+	for i, m := range h.c.machines {
+		i, m := i, m
+		var probe func(*sim.Engine)
+		probe = func(e *sim.Engine) {
+			h.probe(e, i, m)
+			e.After(h.cfg.Interval, probe)
+		}
+		e.Schedule(at.Add(sim.Duration(i)), probe)
+	}
+}
+
+// probe checks one machine: a probe succeeds iff the machine is up.
+func (h *healthChecker) probe(e *sim.Engine, i int, m *machine) {
+	m.consultPlane(e)
+	if m.up {
+		h.ok[i]++
+		h.fail[i] = 0
+		if !m.healthy && h.ok[i] >= h.cfg.ReadmitAfter {
+			m.healthy = true
+			if h.c.measuring {
+				h.c.stats.Readmissions++
+			}
+			h.c.tr.Emit(trace.MachineHealth, e.Now(), 0, uint64(i), "up", i, int64(h.ok[i]))
+		}
+		return
+	}
+	h.fail[i]++
+	h.ok[i] = 0
+	if m.healthy && h.fail[i] >= h.cfg.FailAfter {
+		m.healthy = false
+		if h.c.measuring {
+			h.c.stats.Ejections++
+		}
+		h.c.tr.Emit(trace.MachineHealth, e.Now(), 0, uint64(i), "down", i, int64(h.fail[i]))
+	}
+}

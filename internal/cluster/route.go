@@ -1,0 +1,93 @@
+package cluster
+
+// router picks a backend for a request among the eligible machines
+// (healthy, breaker-admitted, not excluded). All routers are
+// deterministic: same state, same pick.
+type router interface {
+	name() string
+	// pick chooses among elig (never empty, ascending machine id).
+	// hedge marks hedged dispatches, which should avoid sharpening
+	// affinity toward the duplicate's backend.
+	pick(b *balancer, req *request, elig []*machine, hedge bool) *machine
+}
+
+// RouteNames lists the routing policies the balancer supports, in the
+// order the cluster experiment sweeps them.
+func RouteNames() []string { return []string{"round-robin", "least-loaded", "kloc"} }
+
+// roundRobin cycles through machines regardless of load or context —
+// the baseline every serving stack starts from.
+type roundRobin struct{ next int }
+
+func (r *roundRobin) name() string { return "round-robin" }
+
+func (r *roundRobin) pick(b *balancer, req *request, elig []*machine, hedge bool) *machine {
+	m := elig[r.next%len(elig)]
+	r.next++
+	return m
+}
+
+// leastLoaded picks the eligible machine with the fewest outstanding
+// requests (balancer's view), lowest id breaking ties.
+type leastLoaded struct{}
+
+func (leastLoaded) name() string { return "least-loaded" }
+
+func (leastLoaded) pick(b *balancer, req *request, elig []*machine, hedge bool) *machine {
+	return minLoad(b, elig)
+}
+
+func minLoad(b *balancer, elig []*machine) *machine {
+	best := elig[0]
+	for _, m := range elig[1:] {
+		if b.out[m.id] < b.out[best.id] {
+			best = m
+		}
+	}
+	return best
+}
+
+// klocAware routes by KLOC context affinity: requests for a context
+// group keep landing on the machine that last served the group, whose
+// kernel-object working set for it is hot in the fast tier — unless
+// that machine is overloaded relative to the fleet, in which case the
+// group is re-homed to the least-loaded machine. The paper's
+// observation at cluster scale: placement of a request is placement of
+// its kernel objects, so the balancer, not just the kernel, should be
+// context-aware.
+type klocAware struct{}
+
+func (klocAware) name() string { return "kloc" }
+
+func (klocAware) pick(b *balancer, req *request, elig []*machine, hedge bool) *machine {
+	if id, ok := b.affinity[req.group]; ok {
+		for _, m := range elig {
+			if m.id != id {
+				continue
+			}
+			// Honor affinity only while the home machine's load is within
+			// reach of the fleet minimum; a hot context is not worth
+			// queueing behind a convoy.
+			if b.out[id] <= 2*b.out[minLoad(b, elig).id]+4 {
+				return m
+			}
+		}
+	}
+	m := minLoad(b, elig)
+	if !hedge {
+		b.affinity[req.group] = m.id
+	}
+	return m
+}
+
+func routerByName(name string) (router, bool) {
+	switch name {
+	case "round-robin":
+		return &roundRobin{}, true
+	case "least-loaded":
+		return leastLoaded{}, true
+	case "kloc":
+		return klocAware{}, true
+	}
+	return nil, false
+}

@@ -48,6 +48,9 @@ const (
 	// EBADF: operation on a closed or invalid descriptor (socket or
 	// file already torn down).
 	EBADF
+	// ETIMEDOUT: the operation's deadline expired before it completed
+	// (a cluster request whose backend did not answer in time).
+	ETIMEDOUT
 )
 
 func (e Errno) Error() string {
@@ -66,6 +69,8 @@ func (e Errno) Error() string {
 		return "ENOENT: no such file or directory"
 	case EBADF:
 		return "EBADF: bad file descriptor"
+	case ETIMEDOUT:
+		return "ETIMEDOUT: operation timed out"
 	default:
 		return fmt.Sprintf("errno(%d)", uint8(e))
 	}
@@ -119,11 +124,21 @@ const (
 	// Reclaim fails one reclaim round (direct or kswapd): the shrinkers
 	// are not scanned and the round makes no progress.
 	Reclaim Point = "pressure.reclaim"
+	// MachineCrash fails one whole simulated machine in a cluster: the
+	// machine drops its queue and in-flight work, loses its caches, and
+	// restarts cold after the configured downtime. Consulted by the
+	// cluster plane at service starts and health probes, so a scheduled
+	// crash fires within one probe period even on an idle machine.
+	MachineCrash Point = "cluster.crash"
+	// MachineDegrade degrades one machine's fast tier for a window: the
+	// machine stays up but serves every request at slow-tier speed.
+	MachineDegrade Point = "cluster.degrade"
 )
 
 // Points lists every fault point in stable order.
 func Points() []Point {
-	return []Point{BlockIO, AllocSlab, AllocPage, Migrate, RxDrop, Reclaim}
+	return []Point{BlockIO, AllocSlab, AllocPage, Migrate, RxDrop, Reclaim,
+		MachineCrash, MachineDegrade}
 }
 
 // DefaultErrno is the canonical errno each point injects when its rule
@@ -140,6 +155,10 @@ func DefaultErrno(pt Point) Errno {
 		return EAGAIN
 	case Reclaim:
 		return ENOMEM
+	case MachineCrash:
+		return EIO
+	case MachineDegrade:
+		return EAGAIN
 	default:
 		return EIO
 	}

@@ -64,12 +64,30 @@ const (
 	DirectReclaim Name = "pressure.direct_reclaim"
 	// OOMSpill: the OOM-grade degradation path evicted a KLOC context.
 	OOMSpill Name = "oom.spill"
+	// LBRoute: the cluster load balancer dispatched a request (or a
+	// retry of one) to a backend machine.
+	LBRoute Name = "lb.route"
+	// LBRetry: a failed or timed-out request was scheduled for another
+	// attempt after backoff.
+	LBRetry Name = "lb.retry"
+	// LBHedge: a hedged duplicate of a slow request was dispatched.
+	LBHedge Name = "lb.hedge"
+	// LBShed: admission control rejected a request at overload.
+	LBShed Name = "lb.shed"
+	// LBBreaker: a per-backend circuit breaker changed state.
+	LBBreaker Name = "lb.breaker"
+	// MachineCrash: a simulated machine crashed or restarted cold.
+	MachineCrash Name = "machine.crash"
+	// MachineHealth: the health checker ejected or re-admitted a
+	// machine, or a machine's degradation state changed.
+	MachineHealth Name = "machine.health"
 )
 
 // Names lists the catalog in stable (documentation) order.
 func Names() []Name {
 	return []Name{AllocSlab, AllocPage, ObjFree, JournalCommit, BlockDispatch,
-		Migrate, NetRx, NetTx, KswapdWake, DirectReclaim, OOMSpill}
+		Migrate, NetRx, NetTx, KswapdWake, DirectReclaim, OOMSpill,
+		LBRoute, LBRetry, LBHedge, LBShed, LBBreaker, MachineCrash, MachineHealth}
 }
 
 // Event is one emitted trace record.

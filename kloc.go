@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"kloc/internal/alloc"
+	"kloc/internal/cluster"
 	"kloc/internal/fault"
 	"kloc/internal/harness"
 	"kloc/internal/kernel"
@@ -169,11 +170,12 @@ type (
 
 // Errnos.
 const (
-	ENOMEM = fault.ENOMEM
-	EIO    = fault.EIO
-	EAGAIN = fault.EAGAIN
-	EBUSY  = fault.EBUSY
-	EINVAL = fault.EINVAL
+	ENOMEM    = fault.ENOMEM
+	EIO       = fault.EIO
+	EAGAIN    = fault.EAGAIN
+	EBUSY     = fault.EBUSY
+	EINVAL    = fault.EINVAL
+	ETIMEDOUT = fault.ETIMEDOUT
 )
 
 // UniformFaults builds a config injecting each point's default errno
@@ -333,4 +335,47 @@ type errUnknownExperiment string
 func (e errUnknownExperiment) Error() string {
 	return "kloc: unknown experiment " + string(e) +
 		" (valid: " + strings.Join(ExperimentNames(), ", ") + ")"
+}
+
+// Cluster serving plane (the fleet robustness plane; DESIGN.md §11).
+type (
+	// ClusterConfig describes a simulated serving fleet: machine count
+	// and worker pools, open-loop arrival process, client retry/hedge
+	// budgets, routing policy, and the deterministic fault schedule.
+	ClusterConfig = cluster.Config
+	// ClusterReport is one cluster run's outcome (goodput, latency
+	// quantiles, availability through fault windows, and counters).
+	ClusterReport = cluster.Report
+	// ClusterStats are the raw fleet counters inside a ClusterReport.
+	ClusterStats = cluster.Stats
+	// Cluster is a running fleet: N machine stacks behind the balancer.
+	Cluster = cluster.Cluster
+	// MachineFault schedules one deterministic machine fault.
+	MachineFault = cluster.MachineFault
+	// ClusterFaultKind selects crash-restart or fast-tier degrade.
+	ClusterFaultKind = cluster.FaultKind
+	// ClusterBenchReport is the machine-readable cluster sweep
+	// (BENCH_cluster.json).
+	ClusterBenchReport = harness.ClusterBenchReport
+	// ClusterBenchRow is one sweep point in a ClusterBenchReport.
+	ClusterBenchRow = harness.ClusterBenchRow
+)
+
+// Machine fault kinds for ClusterConfig.Faults.
+const (
+	FaultCrash   = cluster.FaultCrash
+	FaultDegrade = cluster.FaultDegrade
+)
+
+// NewCluster builds a serving fleet from a config.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ClusterRouteNames lists the balancer's routing policies in
+// presentation order: "round-robin", "least-loaded", "kloc".
+func ClusterRouteNames() []string { return cluster.RouteNames() }
+
+// ClusterBench sweeps offered load against every routing policy with a
+// crash and a degrade window in each run ("klocbench -exp cluster").
+func ClusterBench(o Options) (*Table, *ClusterBenchReport, error) {
+	return harness.ClusterBench(o)
 }

@@ -16,8 +16,11 @@ func TestPublicAPISurface(t *testing.T) {
 	if got := len(kloc.ExperimentNames()); got != 14 {
 		t.Fatalf("experiment registry size = %d", got)
 	}
-	if got := len(kloc.FaultPoints()); got != 6 {
+	if got := len(kloc.FaultPoints()); got != 8 {
 		t.Fatalf("fault point catalog size = %d", got)
+	}
+	if got := len(kloc.ClusterRouteNames()); got != 3 {
+		t.Fatalf("cluster route catalog size = %d", got)
 	}
 	for _, name := range []string{"naive", "nimble", "klocs", "autonuma+klocs"} {
 		if _, err := kloc.PolicyByName(name); err != nil {
