@@ -49,6 +49,10 @@ type attempt struct {
 	// completion from before a crash cannot corrupt the restarted
 	// machine's slot accounting.
 	serviceEpoch uint64
+	// probe is the half-open probe token from Breaker.OnDispatch
+	// (zero when no probe slot was consumed); a cancellation with no
+	// outcome must hand it back via Breaker.OnCancel.
+	probe uint64
 }
 
 // balancer is the cluster front end: admission control with KLOC-aware
@@ -163,7 +167,7 @@ func (b *balancer) dispatch(e *sim.Engine, req *request, exclude *machine, hedge
 	at := &attempt{req: req, m: m, n: req.attempts, hedge: hedge}
 	req.inflight = append(req.inflight, at)
 	b.out[m.id]++
-	b.breakers[m.id].OnDispatch(e.Now())
+	at.probe = b.breakers[m.id].OnDispatch(e.Now())
 	class := "cold"
 	if m.hotHas(req.group) {
 		class = "hot"
@@ -245,6 +249,10 @@ func (b *balancer) attemptSucceeded(e *sim.Engine, at *attempt) {
 		other.settled = true
 		b.cancelEv(&other.timeoutEv)
 		b.out[other.m.id]--
+		// The losing leg reports no outcome, but a half-open probe slot
+		// it consumed must be released or its breaker would refuse every
+		// future dispatch and the machine would drop out of routing.
+		b.breakers[other.m.id].OnCancel(e.Now(), other.probe)
 	}
 	req.inflight = nil
 	b.cancelEv(&req.hedgeEv)
@@ -285,10 +293,20 @@ func (b *balancer) retryOrFail(e *sim.Engine, req *request, last *machine, errno
 	if req.done {
 		return
 	}
+	if len(req.inflight) > 0 {
+		// A dispatch that found no eligible machine (a hedge or retry
+		// landing while every backend looks down) falls through here with
+		// another leg still in flight. Failing or re-arming now would
+		// race that leg — when it later succeeded, the request would
+		// already be marked failed and its slot accounting skewed for
+		// good. Let the in-flight leg resolve and drive the retry.
+		return
+	}
 	if req.attempts >= b.c.cfg.MaxAttempts {
 		req.done = true
 		b.outstanding--
 		b.cancelEv(&req.hedgeEv)
+		b.cancelEv(&req.retryEv)
 		if req.measured {
 			b.c.stats.Failed++
 			if errno == fault.ETIMEDOUT {
@@ -306,6 +324,7 @@ func (b *balancer) retryOrFail(e *sim.Engine, req *request, last *machine, errno
 		node = last.id
 	}
 	b.c.tr.Emit(trace.LBRetry, e.Now(), req.group, req.id, errno.String(), node, int64(req.attempts))
+	b.cancelEv(&req.retryEv)
 	req.retryEv = e.After(delay, func(e *sim.Engine) {
 		req.retryEv = nil
 		if req.done {

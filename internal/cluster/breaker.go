@@ -69,6 +69,9 @@ type Breaker struct {
 	fails  int
 	until  sim.Time // while open: when half-open probes are admitted
 	probes int      // while half-open: outstanding trial requests
+	// gen counts state transitions; probe tokens from a previous
+	// generation are stale and must not release a current probe slot.
+	gen uint64
 
 	// Opens counts closed/half-open → open transitions; Closes counts
 	// half-open → closed transitions.
@@ -77,7 +80,8 @@ type Breaker struct {
 
 // NewBreaker builds a closed breaker.
 func NewBreaker(cfg BreakerConfig) *Breaker {
-	return &Breaker{cfg: cfg.withDefaults()}
+	// gen starts at 1 so a zero probe token always means "no slot held".
+	return &Breaker{cfg: cfg.withDefaults(), gen: 1}
 }
 
 // State reports the current state, transitioning open → half-open if
@@ -86,6 +90,7 @@ func (b *Breaker) State(now sim.Time) BreakerState {
 	if b.state == BreakerOpen && now >= b.until {
 		b.state = BreakerHalfOpen
 		b.probes = 0
+		b.gen++
 	}
 	return b.state
 }
@@ -105,10 +110,27 @@ func (b *Breaker) Allow(now sim.Time) bool {
 }
 
 // OnDispatch records that a request was sent to the backend,
-// consuming one half-open probe slot if applicable.
-func (b *Breaker) OnDispatch(now sim.Time) {
+// consuming one half-open probe slot if applicable. The returned
+// token is non-zero when a slot was consumed; an attempt abandoned
+// without an outcome (a cancelled hedge leg) must pass it to
+// OnCancel, or the slot would stay consumed forever and pin the
+// breaker half-open with Allow refusing every future dispatch.
+func (b *Breaker) OnDispatch(now sim.Time) uint64 {
 	if b.State(now) == BreakerHalfOpen {
 		b.probes++
+		return b.gen
+	}
+	return 0
+}
+
+// OnCancel releases the half-open probe slot identified by a token
+// from OnDispatch: the attempt was abandoned with no outcome to
+// report, so its slot goes back to the probe budget. Zero and stale
+// tokens (the breaker transitioned since the dispatch, resetting the
+// probe count) are ignored.
+func (b *Breaker) OnCancel(now sim.Time, token uint64) {
+	if token != 0 && b.State(now) == BreakerHalfOpen && token == b.gen && b.probes > 0 {
+		b.probes--
 	}
 }
 
@@ -120,6 +142,7 @@ func (b *Breaker) OnSuccess(now sim.Time) {
 		b.state = BreakerClosed
 		b.fails = 0
 		b.probes = 0
+		b.gen++
 		b.Closes++
 	default:
 		b.fails = 0
@@ -146,5 +169,6 @@ func (b *Breaker) open(now sim.Time) {
 	b.until = now.Add(b.cfg.Cooloff)
 	b.fails = 0
 	b.probes = 0
+	b.gen++
 	b.Opens++
 }

@@ -87,7 +87,7 @@ type Config struct {
 	// Timeout is the client's per-attempt deadline (default 2 ms).
 	// MaxAttempts bounds dispatches per request, hedges included
 	// (default 3). HedgeAfter launches a duplicate of a still-waiting
-	// first attempt (default 500 µs; 0 disables).
+	// first attempt (default 500 µs; a negative value disables hedging).
 	Timeout     sim.Duration
 	MaxAttempts int
 	HedgeAfter  sim.Duration

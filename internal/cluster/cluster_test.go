@@ -61,6 +61,51 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelReleasesProbe: a half-open probe abandoned without
+// an outcome (a cancelled hedge leg) must hand its slot back, or the
+// breaker would stay half-open with an exhausted budget forever and
+// the backend would never re-enter routing.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	br := NewBreaker(BreakerConfig{FailThreshold: 1, Cooloff: sim.Millisecond, HalfOpenProbes: 1})
+	now := sim.Time(0)
+	br.OnFailure(now)
+	now = now.Add(sim.Millisecond)
+	token := br.OnDispatch(now)
+	if token == 0 {
+		t.Fatal("half-open dispatch consumed no probe slot")
+	}
+	if br.Allow(now) {
+		t.Fatal("probe budget of 1 allowed a second concurrent probe")
+	}
+	br.OnCancel(now, token)
+	if !br.Allow(now) {
+		t.Fatal("cancelled probe never released its slot: breaker pinned half-open")
+	}
+	// A stale token from before a state transition must not release a
+	// slot consumed by the new generation.
+	token = br.OnDispatch(now)
+	br.OnFailure(now) // probe failure → open (new generation)
+	now = now.Add(sim.Millisecond)
+	fresh := br.OnDispatch(now) // half-open again: fresh probe in flight
+	if fresh == 0 {
+		t.Fatal("half-open dispatch consumed no probe slot after reopen")
+	}
+	br.OnCancel(now, token)
+	if br.Allow(now) {
+		t.Fatal("stale probe token released the new generation's slot")
+	}
+	// A closed-state dispatch consumes nothing and returns a zero
+	// token; cancelling it is a no-op.
+	br.OnSuccess(now)
+	if got := br.OnDispatch(now); got != 0 {
+		t.Fatalf("closed-state dispatch returned probe token %d, want 0", got)
+	}
+	br.OnCancel(now, 0)
+	if !br.Allow(now) {
+		t.Fatal("closed breaker stopped allowing after a zero-token cancel")
+	}
+}
+
 func TestBackoffDeterminism(t *testing.T) {
 	bo := NewBackoff(BackoffConfig{Base: 100 * sim.Microsecond, Cap: sim.Millisecond})
 	draw := func(seed uint64) []sim.Duration {

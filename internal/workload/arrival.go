@@ -64,7 +64,10 @@ type Bursty struct {
 	// BurstFrac is the fraction of each period spent bursting
 	// (default 0.2).
 	BurstFrac float64
-	// BurstMult multiplies the rate during the burst (default 3).
+	// BurstMult multiplies the rate during the burst (default 3). The
+	// long-run mean can only stay Rate while BurstFrac·BurstMult < 1
+	// (the off phase must absorb the burst); values at or past that
+	// bound are clamped just below it.
 	BurstMult float64
 }
 
@@ -77,6 +80,13 @@ func (b Bursty) withDefaults() Bursty {
 	}
 	if b.BurstMult <= 1 {
 		b.BurstMult = 3
+	}
+	// The off-phase rate (1-BurstFrac·BurstMult)/(1-BurstFrac)·Rate must
+	// stay positive or the long-run mean would silently drift above
+	// Rate; clamp the multiplier inside the feasible region rather than
+	// flooring the off-phase rate.
+	if limit := 1 / b.BurstFrac; b.BurstMult >= limit {
+		b.BurstMult = 0.99 * limit
 	}
 	return b
 }
@@ -92,11 +102,9 @@ func (b Bursty) Next(now sim.Time, r *sim.RNG) sim.Duration {
 	if phase < b.BurstFrac {
 		rate *= b.BurstMult
 	} else {
-		// Off-phase rate chosen so the period's mean equals Rate.
+		// Off-phase rate chosen so the period's mean equals Rate;
+		// withDefaults keeps BurstFrac·BurstMult < 1, so it is positive.
 		rate *= (1 - b.BurstFrac*b.BurstMult) / (1 - b.BurstFrac)
-	}
-	if rate <= 0 {
-		rate = b.Rate * 0.01
 	}
 	return expGap(rate, r)
 }

@@ -95,6 +95,22 @@ func TestBurstyModulates(t *testing.T) {
 	}
 }
 
+// TestBurstyClampPreservesMean: an infeasible burst multiplier
+// (BurstFrac·BurstMult >= 1 would need a negative off-phase rate) is
+// clamped so the long-run mean still tracks Rate instead of silently
+// drifting above it.
+func TestBurstyClampPreservesMean(t *testing.T) {
+	const rate = 200_000
+	b := Bursty{Rate: rate, BurstFrac: 0.2, BurstMult: 6}
+	got := meanRate(t, b, 200*sim.Millisecond, 7)
+	if got < 0.85*rate || got > 1.15*rate {
+		t.Errorf("clamped bursty realized %.0f/s, want within 15%% of %d/s", got, rate)
+	}
+	if c := b.withDefaults(); c.BurstFrac*c.BurstMult >= 1 {
+		t.Errorf("withDefaults kept infeasible BurstFrac·BurstMult = %.2f", c.BurstFrac*c.BurstMult)
+	}
+}
+
 func TestArrivalByNameUnknown(t *testing.T) {
 	if _, err := ArrivalByName("bogus", 1); err == nil {
 		t.Fatal("unknown arrival process accepted")
