@@ -2,7 +2,7 @@
 # keep `make verify` green before merging.
 GO ?= go
 
-.PHONY: verify vet lint build test race bench eval evalfull
+.PHONY: verify vet lint build test race bench eval evalfull chaos
 
 verify: vet lint build race
 
@@ -42,3 +42,9 @@ eval:
 # evalfull prints the full-fidelity evaluation to stdout (slow).
 evalfull:
 	$(GO) run ./cmd/klocbench -exp all
+
+# chaos runs the fixed-seed quick chaos campaign (DESIGN.md §12); an
+# invariant violation exits 1 and leaves CHAOS_repro_*.json behind for
+# `klocbench -exp chaos -replay <file>`.
+chaos:
+	$(GO) run ./cmd/klocbench -exp chaos -quick -chaos-out BENCH_chaos.json

@@ -8,7 +8,11 @@
 //	klocbench -exp fig4                 # one experiment
 //	klocbench -exp fig4,fig5a           # a comma-separated list
 //	klocbench -exp all                  # the full evaluation
+//	klocbench -exp all,cluster,chaos    # 'all' composes with the extras
 //	klocbench -exp cluster              # serving-plane sweep -> BENCH_cluster.json
+//	klocbench -exp chaos                # chaos campaign -> BENCH_chaos.json
+//	klocbench -exp chaos -quick         # fixed-seed 50-schedule smoke campaign
+//	klocbench -exp chaos -replay CHAOS_repro_X.json  # re-run a minimized repro
 //	klocbench -exp fig4 -quick          # reduced duration
 //	klocbench -run -policy klocs -workload rocksdb   # one raw run
 //	klocbench -run -trace run.json      # raw run + Chrome trace export
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +49,10 @@ func main() {
 		traceEvents = flag.String("trace-events", "", "comma-separated event-name patterns to trace (\"alloc.*,oom.spill\"); empty traces the full catalog")
 		sanitize    = flag.Bool("sanitize", false, "with -run: arm the KASAN/kmemleak-analog sanitizer; findings fail the run (exit 1)")
 		benchOut    = flag.String("bench-out", "BENCH_cluster.json", "with -exp cluster: write the machine-readable sweep to this file")
+
+		chaosTarget = flag.String("chaos-target", "cluster", "with -exp chaos: campaign target (cluster or machine)")
+		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "with -exp chaos: write the machine-readable campaign summary to this file")
+		replayFile  = flag.String("replay", "", "with -exp chaos: replay a CHAOS_repro_*.json artifact instead of running a campaign; a non-reproducing or non-deterministic replay fails (exit 1)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -125,23 +134,120 @@ func main() {
 	if *exp == "" {
 		usageError(fmt.Errorf("nothing to do: pass -exp <id> or -run"))
 	}
+	if *replayFile != "" && *exp != "chaos" {
+		usageError(fmt.Errorf("-replay requires -exp chaos (a replay re-runs one chaos repro, nothing else)"))
+	}
 	names, err := resolveExperiments(*exp)
 	if err != nil {
 		usageError(err)
 	}
 	for _, name := range names {
-		if name == "cluster" {
+		switch name {
+		case "cluster":
 			if err := runClusterBench(opts, *benchOut); err != nil {
 				fatal(fmt.Errorf("cluster: %w", err))
 			}
-			continue
+		case "chaos":
+			if *replayFile != "" {
+				if err := runChaosReplay(*replayFile); err != nil {
+					fatal(fmt.Errorf("chaos replay: %w", err))
+				}
+				continue
+			}
+			if err := runChaosCampaign(*chaosTarget, *seed, *quick, *chaosOut); err != nil {
+				fatal(fmt.Errorf("chaos: %w", err))
+			}
+		default:
+			table, err := kloc.Experiment(name, opts)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Println(table)
 		}
-		table, err := kloc.Experiment(name, opts)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		fmt.Println(table)
 	}
+}
+
+// runChaosCampaign executes a chaos campaign and writes the summary
+// plus one replay artifact per violation. A violating campaign exits 1:
+// the artifacts are the bug reports.
+func runChaosCampaign(target string, seed uint64, quick bool, out string) error {
+	cfg := kloc.ChaosConfig{Target: target, Seed: seed}
+	if !quick {
+		// The full campaign samples four times the smoke campaign's
+		// schedules with denser injections.
+		cfg.Schedules = 200
+		cfg.MaxInjections = 8
+	}
+	sum, arts, err := kloc.RunChaosCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: target=%s seed=%d schedules=%d injections=%d determinism-runs=%d\n",
+		sum.Target, sum.Seed, sum.Schedules, sum.Injections, sum.DeterminismRuns)
+	fmt.Printf("chaos: oracles: %s\n", strings.Join(sum.OraclesChecked, ", "))
+	for _, art := range arts {
+		data, err := art.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(art.Filename(), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, v := range sum.Violations {
+		fmt.Printf("chaos: VIOLATION schedule=%d oracle=%s %s\n", v.ScheduleIndex, v.Oracle, v.Detail)
+		fmt.Printf("chaos:   minimized %d -> %d injections in %d probes; repro: %s\n",
+			v.OriginalInjections, v.MinimizedInjections, v.MinimizeProbes, v.Artifact)
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("chaos: summary written to %s\n", out)
+	if !sum.Clean {
+		return fmt.Errorf("%d invariant violations (repro artifacts written)", len(sum.Violations))
+	}
+	fmt.Println("chaos: campaign clean")
+	return nil
+}
+
+// runChaosReplay re-executes a minimized repro artifact twice and
+// verifies the violation reproduces with byte-identical traces.
+func runChaosReplay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	art, err := kloc.ParseChaosArtifact(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos: replaying %s: target=%s oracle=%s injections=%d\n",
+		path, art.Target, art.Oracle, len(art.Schedule.Injections))
+	rep, err := kloc.ChaosReplay(art)
+	if err != nil {
+		return err
+	}
+	if rep.Violation != nil {
+		fmt.Printf("chaos: reproduced oracle=%s %s\n", rep.Violation.Oracle, rep.Violation.Detail)
+	}
+	fmt.Printf("chaos: deterministic=%v trace-fnv=%016x (artifact pinned %016x)\n",
+		rep.Deterministic, rep.TraceFNV, art.TraceFNV)
+	switch {
+	case rep.Violation == nil:
+		return fmt.Errorf("violation did not reproduce (fixed, or the substrate changed)")
+	case !rep.OracleMatch:
+		return fmt.Errorf("reproduced %s but the artifact pinned %s", rep.Violation.Oracle, art.Oracle)
+	case !rep.Deterministic:
+		return fmt.Errorf("traces diverged across re-execution")
+	case !rep.TraceMatch:
+		return fmt.Errorf("violation reproduced but the trace drifted from the artifact's fingerprint")
+	}
+	fmt.Println("chaos: repro confirmed, byte-identical across two executions")
+	return nil
 }
 
 // runClusterBench executes the cluster serving-plane sweep and writes
@@ -168,9 +274,15 @@ func runClusterBench(opts kloc.Options, out string) error {
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
 		"usage: klocbench -exp <id>[,<id>...] [-quick] [-duration-ms N] [-seed N] [-scale N]\n"+
+			"       klocbench -exp chaos [-quick] [-chaos-target T] [-replay FILE]\n"+
 			"       klocbench -run [-policy P] [-workload W] [-optane] [-sanitize] [-trace FILE [-trace-events GLOBS]]\n\n"+
-			"experiments: %s (or 'all'); 'cluster' runs the serving-plane\n"+
-			"sweep and writes BENCH_cluster.json (see -bench-out)\n\nflags:\n",
+			"experiments: %s\n"+
+			"'all' expands to the paper experiments above and composes with the extras\n"+
+			"('all,cluster,chaos' appends both). The extras are excluded from 'all':\n"+
+			"  cluster  serving-plane sweep -> BENCH_cluster.json (see -bench-out)\n"+
+			"  chaos    fault-schedule fuzzing campaign -> BENCH_chaos.json plus one\n"+
+			"           CHAOS_repro_*.json replay artifact per invariant violation;\n"+
+			"           violations exit 1 (see -chaos-target, -chaos-out, -replay)\n\nflags:\n",
 		strings.Join(kloc.ExperimentNames(), ", "))
 	flag.PrintDefaults()
 }
@@ -208,34 +320,47 @@ func writeTrace(t *kloc.Tracer, path string) error {
 	return err
 }
 
-// resolveExperiments expands the -exp flag into experiment IDs: "all",
-// a single ID, or a comma-separated list. Unknown IDs are rejected up
-// front with the valid set, so a typo fails fast instead of after an
-// hour of earlier experiments. The "cluster" sweep is addressable by
-// name but deliberately outside "all": it reports serving-plane
-// metrics (goodput, availability), not the paper's figures.
+// resolveExperiments expands the -exp flag into experiment IDs: a
+// single ID, a comma-separated list, or "all" — which expands to the
+// paper experiments and composes with the extras ("all,cluster,chaos"
+// appends both). Unknown IDs are rejected up front with the valid set,
+// so a typo fails fast instead of after an hour of earlier
+// experiments. "cluster" and "chaos" are addressable by name but
+// deliberately outside "all": the sweep reports serving-plane metrics
+// (goodput, availability) and the campaign hunts invariant violations
+// — neither regenerates a paper figure.
 func resolveExperiments(exp string) ([]string, error) {
-	if exp == "all" {
-		return kloc.ExperimentNames(), nil
-	}
-	valid := map[string]bool{"cluster": true}
+	valid := map[string]bool{"cluster": true, "chaos": true}
 	for _, n := range kloc.ExperimentNames() {
 		valid[n] = true
 	}
 	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
 	for _, n := range strings.Split(exp, ",") {
 		n = strings.TrimSpace(n)
 		if n == "" {
 			continue
 		}
+		if n == "all" {
+			for _, e := range kloc.ExperimentNames() {
+				add(e)
+			}
+			continue
+		}
 		if !valid[n] {
-			return nil, fmt.Errorf("unknown experiment %q (valid: %s, cluster, or 'all')",
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, cluster, chaos, or 'all')",
 				n, strings.Join(kloc.ExperimentNames(), ", "))
 		}
-		names = append(names, n)
+		add(n)
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no experiment named (valid: %s, cluster, or 'all')",
+		return nil, fmt.Errorf("no experiment named (valid: %s, cluster, chaos, or 'all')",
 			strings.Join(kloc.ExperimentNames(), ", "))
 	}
 	return names, nil

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -21,6 +23,46 @@ func TestResolveExperimentsAll(t *testing.T) {
 	}
 	if len(names) != len(kloc.ExperimentNames()) {
 		t.Fatalf("all = %d experiments, want %d", len(names), len(kloc.ExperimentNames()))
+	}
+}
+
+// TestResolveExperimentsAllComposes pins the -exp list semantics: "all"
+// expands in place and composes with the extras outside it, without
+// duplicates.
+func TestResolveExperimentsAllComposes(t *testing.T) {
+	names, err := resolveExperiments("all,cluster,chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kloc.ExperimentNames()) + 2; len(names) != want {
+		t.Fatalf("all,cluster,chaos = %d experiments, want %d: %v", len(names), want, names)
+	}
+	if names[len(names)-2] != "cluster" || names[len(names)-1] != "chaos" {
+		t.Fatalf("extras not appended after 'all': %v", names)
+	}
+	for _, n := range names[:len(names)-2] {
+		if n == "cluster" || n == "chaos" {
+			t.Fatalf("'all' must exclude the extras: %v", names)
+		}
+	}
+
+	// Duplicates collapse, wherever they come from.
+	names, err = resolveExperiments("fig4,all,fig4,chaos,chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kloc.ExperimentNames()) + 1; len(names) != want {
+		t.Fatalf("deduped list = %d experiments, want %d: %v", len(names), want, names)
+	}
+	if names[0] != "fig4" {
+		t.Fatalf("explicit order not preserved: %v", names)
+	}
+}
+
+func TestResolveExperimentsChaos(t *testing.T) {
+	names, err := resolveExperiments("chaos")
+	if err != nil || len(names) != 1 || names[0] != "chaos" {
+		t.Fatalf("resolve chaos = %v, %v", names, err)
 	}
 }
 
@@ -47,6 +89,55 @@ func TestResolveExperimentsUnknownListsValid(t *testing.T) {
 	}
 	if _, err := resolveExperiments(" , "); err == nil {
 		t.Fatal("blank list accepted")
+	}
+}
+
+// TestChaosReplayRoundTrip drives the -exp chaos -replay path end to
+// end: a campaign against a reintroduced defect emits a minimized
+// artifact, the artifact round-trips through disk, and runChaosReplay
+// (the -replay entry point) confirms the repro byte-identically.
+func TestChaosReplayRoundTrip(t *testing.T) {
+	_, arts, err := kloc.RunChaosCampaign(kloc.ChaosConfig{
+		Target: kloc.ChaosTargetCluster, Schedules: 10, Seed: 42,
+		MaxInjections: 4, ScaleDiv: 512,
+		Duration: 4 * kloc.Millisecond, SettleBound: 30 * kloc.Millisecond,
+		DeterminismEvery: -1, Bug: "hedge-slot-leak",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) == 0 {
+		t.Fatal("bug-fixture campaign produced no repro artifact")
+	}
+	art := arts[0]
+	if len(art.Schedule.Injections) > 3 {
+		t.Fatalf("repro has %d injections, want <= 3", len(art.Schedule.Injections))
+	}
+	data, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), art.Filename())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runChaosReplay(path); err != nil {
+		t.Fatalf("replay of fresh artifact failed: %v", err)
+	}
+
+	// A tampered fingerprint must fail the replay: the artifact pins the
+	// violating trace, not just the violation.
+	bad := *art
+	bad.TraceFNV++
+	data, err = bad.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runChaosReplay(path); err == nil {
+		t.Fatal("replay accepted a tampered trace fingerprint")
 	}
 }
 

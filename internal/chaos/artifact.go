@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"kloc/internal/fault"
+	"kloc/internal/sim"
+)
+
+// Artifact is a self-contained chaos repro: everything needed to
+// re-execute one violating (minimized) schedule exactly —
+// `klocbench -exp chaos -replay CHAOS_repro_<hash>.json`.
+type Artifact struct {
+	SchemaVersion int    `json:"schema_version"`
+	Experiment    string `json:"experiment"`
+	Target        string `json:"target"`
+	Seed          uint64 `json:"seed"`
+	Workload      string `json:"workload"`
+	ScaleDiv      int    `json:"scale_div"`
+	DurationNs    int64  `json:"duration_ns"`
+	SettleBoundNs int64  `json:"settle_bound_ns"`
+	// Bug records the fixture the campaign ran with (empty for real
+	// violations) so a repro of an oracle self-test replays against
+	// the same reintroduced defect.
+	Bug string `json:"bug,omitempty"`
+
+	// Oracle/Detail are the violated invariant; ScheduleIndex the
+	// campaign position of the original schedule.
+	Oracle        string `json:"oracle"`
+	Detail        string `json:"detail"`
+	ScheduleIndex int    `json:"schedule_index"`
+	// OriginalInjections is the pre-minimization schedule size;
+	// MinimizeProbes the re-executions the minimizer spent.
+	OriginalInjections int `json:"original_injections"`
+	MinimizeProbes     int `json:"minimize_probes"`
+	// TraceFNV fingerprints the violating run's trace; a replay must
+	// reproduce it byte-identically.
+	TraceFNV uint64 `json:"trace_fnv"`
+
+	// Schedule is the minimized repro schedule.
+	Schedule fault.Schedule `json:"schedule"`
+}
+
+// Filename names the artifact by its schedule's canonical hash.
+func (a *Artifact) Filename() string {
+	return fmt.Sprintf("CHAOS_repro_%016x.json", a.Schedule.Hash())
+}
+
+// JSON serializes the artifact deterministically.
+func (a *Artifact) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// config reconstructs the campaign config the artifact was produced
+// under (minus the generator state, which a replay does not need).
+func (a *Artifact) config() Config {
+	return Config{
+		Target:      a.Target,
+		Seed:        a.Seed,
+		Workload:    a.Workload,
+		ScaleDiv:    a.ScaleDiv,
+		Duration:    sim.Duration(a.DurationNs),
+		SettleBound: sim.Duration(a.SettleBoundNs),
+		Bug:         a.Bug,
+	}.withDefaults()
+}
+
+// ParseArtifact deserializes and validates a replay artifact.
+func ParseArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("chaos: parse artifact: %w", err)
+	}
+	if a.Experiment != "chaos" {
+		return nil, fmt.Errorf("chaos: artifact experiment is %q, want \"chaos\": %w", a.Experiment, fault.EINVAL)
+	}
+	if a.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("chaos: artifact schema v%d is newer than this binary's v%d: %w",
+			a.SchemaVersion, SchemaVersion, fault.EINVAL)
+	}
+	if err := a.config().validate(); err != nil {
+		return nil, err
+	}
+	// Round-trip the schedule through the fault package's validating
+	// parser: unknown points or negative offsets fail here, not deep
+	// inside a run.
+	raw, err := json.Marshal(a.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: artifact schedule: %w", err)
+	}
+	sched, err := fault.ParseSchedule(raw)
+	if err != nil {
+		return nil, err
+	}
+	a.Schedule = sched
+	return &a, nil
+}
+
+// ReplayReport is the outcome of re-executing an artifact.
+type ReplayReport struct {
+	// Violation is the oracle rejection the replay reproduced (nil if
+	// the run came back clean — the bug no longer reproduces).
+	Violation *Violation
+	// OracleMatch: the reproduced violation is the artifact's oracle.
+	OracleMatch bool
+	// Deterministic: two back-to-back executions produced
+	// byte-identical traces.
+	Deterministic bool
+	// TraceFNV fingerprints the replayed trace; TraceMatch compares it
+	// against the artifact's recorded fingerprint (false on a
+	// same-oracle violation whose trace drifted — the repro still
+	// stands, but the substrate changed underneath it).
+	TraceFNV   uint64
+	TraceMatch bool
+}
+
+// Replay re-executes an artifact's schedule twice and reports whether
+// the violation reproduces deterministically.
+func Replay(a *Artifact) (*ReplayReport, error) {
+	cfg := a.config()
+	ex, err := newExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	oracles := Registry(cfg.Target)
+	first, err := ex.run(a.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	second, err := ex.run(a.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReplayReport{
+		Violation:     check(oracles, first),
+		Deterministic: first.Trace == second.Trace,
+		TraceFNV:      fnv64(first.Trace),
+	}
+	rep.TraceMatch = rep.TraceFNV == a.TraceFNV
+	if a.Oracle == OracleDeterminism {
+		// A determinism repro is "violated" exactly when the two
+		// executions diverge.
+		if !rep.Deterministic {
+			rep.Violation = &Violation{Oracle: OracleDeterminism, Detail: "same seed and schedule diverged"}
+		}
+	}
+	rep.OracleMatch = rep.Violation != nil && rep.Violation.Oracle == a.Oracle
+	return rep, nil
+}

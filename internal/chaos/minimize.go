@@ -1,0 +1,59 @@
+package chaos
+
+import "kloc/internal/fault"
+
+// minimize shrinks a violating schedule to a locally-minimal repro
+// with the ddmin delta-debugging algorithm, re-executing candidates
+// through the reproduces predicate. It returns the minimal schedule
+// and the number of probes (re-executions) spent.
+//
+// Soundness rests on schedules being pure timed data: a Schedule
+// carries no probabilities and draws no RNG, so removing an injection
+// never perturbs when (or whether) the remaining ones fire. A subset
+// that reproduces the violation is therefore a true repro, not a
+// coincidence of reshuffled randomness.
+func minimize(s fault.Schedule, reproduces func(fault.Schedule) bool) (fault.Schedule, int) {
+	cur := s.Normalize()
+	probes := 0
+	n := 2
+	for len(cur.Injections) >= 2 {
+		chunk := (len(cur.Injections) + n - 1) / n
+		reduced := false
+		// Try the complement of each chunk: keep everything except
+		// injections [start, start+chunk).
+		for start := 0; start < len(cur.Injections); start += chunk {
+			drop := make(map[int]bool, chunk)
+			for i := start; i < start+chunk && i < len(cur.Injections); i++ {
+				drop[i] = true
+			}
+			cand := cur.Without(drop)
+			probes++
+			if reproduces(cand) {
+				cur = cand.Normalize()
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur.Injections) {
+				break
+			}
+			n *= 2
+			if n > len(cur.Injections) {
+				n = len(cur.Injections)
+			}
+		}
+	}
+	// A single-injection schedule may still reduce to empty (the
+	// violation needs no injection at all — a latent bug).
+	if len(cur.Injections) == 1 {
+		probes++
+		if reproduces(fault.Schedule{}) {
+			cur = fault.Schedule{}
+		}
+	}
+	return cur, probes
+}

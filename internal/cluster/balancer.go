@@ -70,6 +70,13 @@ type balancer struct {
 	// and the cold-shed admission check. Written only by klocAware.pick;
 	// read by key, never iterated.
 	affinity map[uint64]int
+
+	// admittedAll/resolvedAll count admitted requests and their terminal
+	// resolutions over the whole run, warmup included. The chaos
+	// engine's conservation oracle checks they match after drain: every
+	// admitted request terminates exactly once.
+	admittedAll uint64
+	resolvedAll uint64
 }
 
 func newBalancer(c *Cluster, r router) *balancer {
@@ -125,6 +132,7 @@ func (b *balancer) admit(e *sim.Engine, req *request) {
 		return
 	}
 	b.outstanding++
+	b.admittedAll++
 	if req.measured {
 		b.c.stats.Admitted++
 	}
@@ -248,17 +256,22 @@ func (b *balancer) attemptSucceeded(e *sim.Engine, at *attempt) {
 		}
 		other.settled = true
 		b.cancelEv(&other.timeoutEv)
-		b.out[other.m.id]--
+		if b.c.cfg.Bug != BugHedgeSlotLeak {
+			b.out[other.m.id]--
+		}
 		// The losing leg reports no outcome, but a half-open probe slot
 		// it consumed must be released or its breaker would refuse every
 		// future dispatch and the machine would drop out of routing.
-		b.breakers[other.m.id].OnCancel(e.Now(), other.probe)
+		if b.c.cfg.Bug != BugProbeLeak {
+			b.breakers[other.m.id].OnCancel(e.Now(), other.probe)
+		}
 	}
 	req.inflight = nil
 	b.cancelEv(&req.hedgeEv)
 	b.cancelEv(&req.retryEv)
 	req.done = true
 	b.outstanding--
+	b.resolvedAll++
 	if !req.measured {
 		return
 	}
@@ -305,6 +318,7 @@ func (b *balancer) retryOrFail(e *sim.Engine, req *request, last *machine, errno
 	if req.attempts >= b.c.cfg.MaxAttempts {
 		req.done = true
 		b.outstanding--
+		b.resolvedAll++
 		b.cancelEv(&req.hedgeEv)
 		b.cancelEv(&req.retryEv)
 		if req.measured {

@@ -109,6 +109,13 @@ func (b *Breaker) Allow(now sim.Time) bool {
 	}
 }
 
+// Probes reports the outstanding half-open probe count (oracle hook:
+// with no attempts in flight it must be zero, or a probe token leaked).
+func (b *Breaker) Probes() int { return b.probes }
+
+// ProbeBudget reports the configured half-open probe bound.
+func (b *Breaker) ProbeBudget() int { return b.cfg.HalfOpenProbes }
+
 // OnDispatch records that a request was sent to the backend,
 // consuming one half-open probe slot if applicable. The returned
 // token is non-zero when a slot was consumed; an attempt abandoned

@@ -38,6 +38,21 @@ const (
 	FaultDegrade FaultKind = "degrade"
 )
 
+// The reintroducible bugs (Config.Bug). Each reverts one fix from the
+// serving plane's review history, producing an invariant violation the
+// chaos oracles must catch.
+const (
+	// BugHedgeSlotLeak skips the losing hedge leg's per-machine slot
+	// decrement when the winning leg resolves: the balancer's out[]
+	// gauge for that machine drifts up forever (the outstanding-count
+	// skew class).
+	BugHedgeSlotLeak = "hedge-slot-leak"
+	// BugProbeLeak skips releasing the losing hedge leg's half-open
+	// probe token: the breaker stays pinned half-open with its probe
+	// budget exhausted and the machine drops out of routing for good.
+	BugProbeLeak = "probe-leak"
+)
+
 // MachineFault schedules one deterministic fault on one machine.
 type MachineFault struct {
 	// Machine is the target machine index.
@@ -113,6 +128,18 @@ type Config struct {
 	RestartDelay  sim.Duration
 	DegradeFor    sim.Duration
 	DegradeFactor float64
+
+	// Chaos is an exact-time fault schedule over the full fault.Points()
+	// catalog, offsets rebased to the measured start. cluster.crash and
+	// cluster.degrade injections merge with Faults on the targeted
+	// machine; every other point arms that machine's kernel-level fault
+	// plane. Nil runs without chaos injections.
+	Chaos *fault.Schedule
+
+	// Bug re-introduces a historical accounting defect so the chaos
+	// engine's oracles can be tested against a known-bad fleet. Empty
+	// runs correct code; see BugHedgeSlotLeak and BugProbeLeak.
+	Bug string
 
 	// Seed drives every stream in the run; Duration is the measured
 	// window (default 60 ms); Warmup runs traffic before measurement
@@ -366,6 +393,19 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: unknown fault kind %q: %w", f.Kind, fault.EINVAL)
 		}
 	}
+	if cfg.Chaos != nil {
+		for _, in := range cfg.Chaos.Injections {
+			if in.Machine < 0 || in.Machine >= cfg.Machines {
+				return nil, fmt.Errorf("cluster: chaos injection %s targets machine %d of %d: %w",
+					in, in.Machine, cfg.Machines, fault.EINVAL)
+			}
+		}
+	}
+	switch cfg.Bug {
+	case "", BugHedgeSlotLeak, BugProbeLeak:
+	default:
+		return nil, fmt.Errorf("cluster: unknown bug fixture %q: %w", cfg.Bug, fault.EINVAL)
+	}
 
 	c := &Cluster{cfg: cfg, eng: sim.NewEngine(), arr: arr, backoff: NewBackoff(cfg.Backoff)}
 	if cfg.Trace != nil {
@@ -442,7 +482,7 @@ func (c *Cluster) Run() (*Report, error) {
 	// Arm machine fault schedules relative to the measured start, and
 	// record the windows for availability accounting.
 	for i, m := range c.machines {
-		var crashes, degrades []sim.Time
+		rules := make(map[fault.Point]fault.Rule, 2)
 		for _, f := range cfg.Faults {
 			if f.Machine != i {
 				continue
@@ -450,24 +490,56 @@ func (c *Cluster) Run() (*Report, error) {
 			at := start.Add(f.At)
 			switch f.Kind {
 			case FaultCrash:
-				crashes = append(crashes, at)
+				r := rules[fault.MachineCrash]
+				r.Times = append(r.Times, at)
+				rules[fault.MachineCrash] = r
 				c.windows = append(c.windows, [2]sim.Time{at, at.Add(cfg.RestartDelay)})
 			case FaultDegrade:
-				degrades = append(degrades, at)
+				r := rules[fault.MachineDegrade]
+				r.Times = append(r.Times, at)
+				rules[fault.MachineDegrade] = r
 				c.windows = append(c.windows, [2]sim.Time{at, at.Add(cfg.DegradeFor)})
 			}
 		}
-		if len(crashes) == 0 && len(degrades) == 0 {
-			continue
+		if cfg.Chaos != nil {
+			chaosRules := cfg.Chaos.Rules(i, start)
+			var kernelRules map[fault.Point]fault.Rule
+			// Iterate the catalog, not the rule map, so arming order (and
+			// window order) is deterministic.
+			for _, pt := range fault.Points() {
+				r, ok := chaosRules[pt]
+				if !ok {
+					continue
+				}
+				switch pt {
+				case fault.MachineCrash, fault.MachineDegrade:
+					mr := rules[pt]
+					mr.Timed = append(mr.Timed, r.Timed...)
+					rules[pt] = mr
+					window := cfg.RestartDelay
+					if pt == fault.MachineDegrade {
+						window = cfg.DegradeFor
+					}
+					for _, ti := range r.Timed {
+						c.windows = append(c.windows, [2]sim.Time{ti.At, ti.At.Add(window)})
+					}
+				default:
+					if kernelRules == nil {
+						kernelRules = make(map[fault.Point]fault.Rule)
+					}
+					kernelRules[pt] = r
+				}
+			}
+			if kernelRules != nil {
+				m.k.InjectFaults(fault.NewPlane(fault.Config{
+					Seed:  cfg.Seed ^ (uint64(i)+1)<<32,
+					Rules: kernelRules,
+				}))
+			}
 		}
-		rules := make(map[fault.Point]fault.Rule, 2)
-		if len(crashes) > 0 {
-			rules[fault.MachineCrash] = fault.Rule{Times: crashes}
+		if len(rules) > 0 {
+			m.plane = fault.NewPlane(fault.Config{Seed: cfg.Seed + uint64(i), Rules: rules})
 		}
-		if len(degrades) > 0 {
-			rules[fault.MachineDegrade] = fault.Rule{Times: degrades}
-		}
-		m.plane = fault.NewPlane(fault.Config{Seed: cfg.Seed + uint64(i), Rules: rules})
 	}
 
 	for _, m := range c.machines {

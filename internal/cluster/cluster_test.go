@@ -347,3 +347,59 @@ func TestCrashWindowRecovery(t *testing.T) {
 		t.Fatalf("nothing completed during the fault window: %+v", s)
 	}
 }
+
+// TestHealthProberFlapping: back-to-back crash windows on the same
+// machine must drive eject → re-admit → eject → re-admit without
+// corrupting routing weights or outstanding counts (regression guard
+// for the hedge-leg accounting fixes).
+func TestHealthProberFlapping(t *testing.T) {
+	cfg := testConfig()
+	cfg.Route = "least-loaded"
+	cfg.Rate = rateFor(t, cfg, 0.5)
+	cfg.RestartDelay = 3 * sim.Millisecond
+	cfg.Faults = []MachineFault{
+		{Machine: 0, Kind: FaultCrash, At: 4 * sim.Millisecond},
+		{Machine: 0, Kind: FaultCrash, At: 10 * sim.Millisecond},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats
+	if s.Crashes != 2 || s.Restarts != 2 {
+		t.Fatalf("crashes=%d restarts=%d, want 2 and 2", s.Crashes, s.Restarts)
+	}
+	if s.Ejections < 2 {
+		t.Fatalf("ejections=%d, want >= 2 (one per crash window): %+v", s.Ejections, s)
+	}
+	if s.Readmissions < 2 {
+		t.Fatalf("readmissions=%d, want >= 2 (one per restart): %+v", s.Readmissions, s)
+	}
+	if !c.Settle(20 * sim.Millisecond) {
+		t.Fatalf("fleet never settled after flapping: %+v", c.Introspect())
+	}
+	in := c.Introspect()
+	if in.Outstanding != 0 {
+		t.Fatalf("outstanding=%d after settle", in.Outstanding)
+	}
+	if in.AdmittedAll != in.ResolvedAll {
+		t.Fatalf("admitted=%d resolved=%d: some request never terminated or terminated twice",
+			in.AdmittedAll, in.ResolvedAll)
+	}
+	for i := range in.Out {
+		if in.Out[i] != 0 {
+			t.Fatalf("machine %d routing weight skewed: out=%v", i, in.Out)
+		}
+		if !in.Up[i] || !in.Healthy[i] {
+			t.Fatalf("machine %d not re-admitted: up=%v healthy=%v", i, in.Up, in.Healthy)
+		}
+		if in.BreakerProbes[i] != 0 {
+			t.Fatalf("machine %d breaker holds %d probe slots with nothing in flight",
+				i, in.BreakerProbes[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// declaredPoints parses fault.go and returns every package-level
+// constant of type Point, name -> string value. The cluster points
+// were once wired into Points()/DefaultErrno by hand; this walk makes
+// forgetting a new one impossible.
+func declaredPoints(t *testing.T) map[string]Point {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fault.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse fault.go: %v", err)
+	}
+	pts := make(map[string]Point)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			id, ok := vs.Type.(*ast.Ident)
+			if !ok || id.Name != "Point" {
+				continue
+			}
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("Point const %s is not a string literal", name.Name)
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquote %s: %v", lit.Value, err)
+				}
+				pts[name.Name] = Point(val)
+			}
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatal("no Point constants found in fault.go")
+	}
+	return pts
+}
+
+// defaultErrnoCases parses the DefaultErrno switch and returns the set
+// of Point constant names it matches explicitly (the default case does
+// not count as coverage).
+func defaultErrnoCases(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fault.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse fault.go: %v", err)
+	}
+	cases := make(map[string]bool)
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "DefaultErrno" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for _, expr := range cc.List {
+				if id, ok := expr.(*ast.Ident); ok {
+					cases[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(cases) == 0 {
+		t.Fatal("no explicit cases found in DefaultErrno")
+	}
+	return cases
+}
+
+// TestCatalogComplete: every declared Point constant must appear in
+// Points() and be matched by an explicit DefaultErrno case. A new
+// point added without either would previously be forgotten silently —
+// invisible to Uniform sweeps and injecting a fallback errno.
+func TestCatalogComplete(t *testing.T) {
+	declared := declaredPoints(t)
+	listed := make(map[Point]bool, len(Points()))
+	for _, pt := range Points() {
+		listed[pt] = true
+	}
+	if len(listed) != len(Points()) {
+		t.Fatalf("Points() holds duplicates: %v", Points())
+	}
+	for name, pt := range declared {
+		if !listed[pt] {
+			t.Errorf("point constant %s (%q) missing from Points()", name, pt)
+		}
+	}
+	if len(declared) != len(listed) {
+		t.Errorf("Points() lists %d points but fault.go declares %d", len(listed), len(declared))
+	}
+	cases := defaultErrnoCases(t)
+	for name, pt := range declared {
+		if !cases[name] {
+			t.Errorf("point constant %s (%q) has no explicit DefaultErrno case (would inject the fallback)", name, pt)
+		}
+	}
+}

@@ -16,8 +16,10 @@
 package fault
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"kloc/internal/sim"
@@ -83,6 +85,47 @@ func (e Errno) String() string {
 		return s[:i]
 	}
 	return s
+}
+
+// Errnos lists every errno value in declaration order.
+func Errnos() []Errno {
+	return []Errno{ENOMEM, EIO, EAGAIN, EBUSY, EINVAL, ENOENT, EBADF, ETIMEDOUT}
+}
+
+// ErrnoByName resolves a short errno name ("EIO") back to its value —
+// the inverse of String, used when deserializing fault schedules.
+func ErrnoByName(name string) (Errno, bool) {
+	for _, e := range Errnos() {
+		if e.String() == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON serializes the errno as its short name so schedule and
+// replay artifacts stay human-readable ("EIO", not 2).
+func (e Errno) MarshalJSON() ([]byte, error) {
+	return json.Marshal(e.String())
+}
+
+// UnmarshalJSON accepts the short name ("EIO") or a raw numeric value.
+func (e *Errno) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, ok := ErrnoByName(s)
+		if !ok {
+			return fmt.Errorf("fault: unknown errno %q", s)
+		}
+		*e = v
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("fault: errno must be a name or number: %s", data)
+	}
+	*e = Errno(n)
+	return nil
 }
 
 // AsErrno extracts an Errno from err, unwrapping as needed.
@@ -171,9 +214,24 @@ type Rule struct {
 	// Prob is the per-consult injection probability in [0, 1].
 	Prob float64
 	// Times schedules exact virtual-time injections; must be ascending.
-	// The first consult at or after each time injects once.
+	// The first consult at or after each time injects once, with the
+	// rule's Err.
 	Times []sim.Time
+	// Timed schedules exact virtual-time injections that carry their own
+	// errno (zero falls back to the rule's Err, then the point default).
+	// Chaos schedules compose into these; Times and Timed merge into one
+	// time-ordered sequence when the plane is armed.
+	Timed []TimedInjection
 	// Err is the injected errno; zero means the point's DefaultErrno.
+	Err Errno
+}
+
+// TimedInjection is one exact-virtual-time scheduled injection with an
+// optional per-injection errno.
+type TimedInjection struct {
+	// At is the virtual time; the first consult at or after it injects.
+	At sim.Time
+	// Err is the injected errno (zero = the rule's Err / point default).
 	Err Errno
 }
 
@@ -212,9 +270,12 @@ func (r Record) String() string {
 	return fmt.Sprintf("%d %d %s %s", r.Seq, int64(r.At), r.Point, r.Err)
 }
 
-// pointState is one point's live injection state.
+// pointState is one point's live injection state. sched is the
+// normalized, time-ordered merge of the rule's Times and Timed entries
+// with every errno resolved.
 type pointState struct {
 	rule      Rule
+	sched     []TimedInjection
 	rng       *sim.RNG
 	nextSched int
 	consults  uint64
@@ -239,8 +300,20 @@ func NewPlane(cfg Config) *Plane {
 		if rule.Err == 0 {
 			rule.Err = DefaultErrno(pt)
 		}
+		sched := make([]TimedInjection, 0, len(rule.Times)+len(rule.Timed))
+		for _, at := range rule.Times {
+			sched = append(sched, TimedInjection{At: at, Err: rule.Err})
+		}
+		for _, ti := range rule.Timed {
+			if ti.Err == 0 {
+				ti.Err = rule.Err
+			}
+			sched = append(sched, ti)
+		}
+		sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 		p.points[pt] = &pointState{
-			rule: rule,
+			rule:  rule,
+			sched: sched,
 			// A private stream per point: seed mixed with the point name
 			// so streams are independent and stable.
 			rng: sim.NewRNG(cfg.Seed ^ fnv64(string(pt))),
@@ -273,21 +346,22 @@ func (p *Plane) Check(pt Point, now sim.Time) Errno {
 	}
 	st.consults++
 	// Scheduled injections take precedence and fire exactly once each.
-	if st.nextSched < len(st.rule.Times) && now >= st.rule.Times[st.nextSched] {
+	if st.nextSched < len(st.sched) && now >= st.sched[st.nextSched].At {
+		errno := st.sched[st.nextSched].Err
 		st.nextSched++
-		return p.inject(pt, st, now)
+		return p.inject(pt, st, now, errno)
 	}
 	if st.rule.Prob > 0 && st.rng.Float64() < st.rule.Prob {
-		return p.inject(pt, st, now)
+		return p.inject(pt, st, now, st.rule.Err)
 	}
 	return 0
 }
 
-func (p *Plane) inject(pt Point, st *pointState, now sim.Time) Errno {
+func (p *Plane) inject(pt Point, st *pointState, now sim.Time, errno Errno) Errno {
 	st.injected++
-	p.trace = append(p.trace, Record{Seq: p.seq, At: now, Point: pt, Err: st.rule.Err})
+	p.trace = append(p.trace, Record{Seq: p.seq, At: now, Point: pt, Err: errno})
 	p.seq++
-	return st.rule.Err
+	return errno
 }
 
 // Injected reports the total number of injected faults.

@@ -38,13 +38,19 @@ type ClusterBenchRow struct {
 	FaultAvailability float64 `json:"fault_availability"`
 }
 
+// BenchSchemaVersion stamps the machine-readable bench reports
+// (BENCH_*.json) so downstream consumers can detect shape changes.
+const BenchSchemaVersion = 1
+
 // ClusterBenchReport is the full machine-readable cluster sweep.
 type ClusterBenchReport struct {
-	Workload string `json:"workload"`
-	Policy   string `json:"policy"`
-	Machines int    `json:"machines"`
-	Workers  int    `json:"workers"`
-	Seed     uint64 `json:"seed"`
+	SchemaVersion int    `json:"schema_version"`
+	Experiment    string `json:"experiment"`
+	Workload      string `json:"workload"`
+	Policy        string `json:"policy"`
+	Machines      int    `json:"machines"`
+	Workers       int    `json:"workers"`
+	Seed          uint64 `json:"seed"`
 	// ServiceCostNs is the calibrated mean per-request service cost;
 	// CapacityPerSec the fleet capacity derived from it (the rate the
 	// load factors multiply).
@@ -92,6 +98,8 @@ func ClusterBench(o Options) (*Table, *ClusterBenchReport, error) {
 	capacity := float64(base.Machines*base.Workers) / cost.Seconds()
 
 	rep := &ClusterBenchReport{
+		SchemaVersion:  BenchSchemaVersion,
+		Experiment:     "cluster",
 		Workload:       base.Workload,
 		Policy:         base.Policy,
 		Machines:       base.Machines,

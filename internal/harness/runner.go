@@ -83,6 +83,19 @@ type RunConfig struct {
 	// unfaulted one. Nil runs without injection.
 	Fault *fault.Config
 
+	// FaultSchedule arms an exact-time fault schedule (the chaos
+	// engine's replayable form) with offsets rebased onto the measured
+	// window's start, so the same schedule means the same thing across
+	// runs whose setup phases differ. Mutually exclusive with Fault.
+	FaultSchedule *fault.Schedule
+
+	// CrashReplay runs the crash-consistency oracle after the measured
+	// window: crash the FS, check the in-memory image tore down clean,
+	// replay the journal, and check the durable image was rebuilt
+	// exactly. The verdict lands on Result.CrashViolation; the run's
+	// other counters are collected before the crash and are unaffected.
+	CrashReplay bool
+
 	// Pressure configures the memory-pressure plane: watermarks on the
 	// fast node (enabling the emergency-reserve gate) and, with a
 	// nonzero KswapdPeriod, the background reclaimer. Applied after
@@ -181,6 +194,12 @@ type Result struct {
 	// Sanitize is the runtime sanitizer's end-of-run report (nil when
 	// RunConfig.Sanitize was off).
 	Sanitize *alloc.SanReport
+
+	// CrashReplayed is set when the CrashReplay oracle ran;
+	// CrashViolation names the first violated crash-consistency
+	// invariant (empty means the crash/replay cycle was clean).
+	CrashReplayed  bool
+	CrashViolation string
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -278,8 +297,15 @@ func Run(cfg RunConfig) (*Result, error) {
 	// per-point RNG streams start from the configured seed regardless of
 	// how long setup took, so traces are comparable across policies.
 	var plane *fault.Plane
+	if cfg.Fault != nil && cfg.FaultSchedule != nil {
+		return nil, fmt.Errorf("harness: Fault and FaultSchedule are mutually exclusive: %w", fault.EINVAL)
+	}
 	if cfg.Fault != nil {
 		plane = fault.NewPlane(*cfg.Fault)
+	} else if cfg.FaultSchedule != nil {
+		plane = fault.NewPlane(cfg.FaultSchedule.Config(cfg.Seed, -1, start))
+	}
+	if plane != nil {
 		k.InjectFaults(plane)
 	}
 	// Configure pressure before Start so kswapd is armed when the
@@ -377,7 +403,37 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.Trace = tracer
 	res.TraceStats = tracer.Stats()
 	res.Sanitize = k.SanitizeReport(eng.Now())
+	if cfg.CrashReplay {
+		res.CrashReplayed = true
+		res.CrashViolation = crashReplayCheck(k)
+	}
 	return res, nil
+}
+
+// crashReplayCheck crashes the FS and replays its journal, returning
+// the first violated crash-consistency invariant (empty when clean).
+// The fault plane is disarmed first: leftover scheduled injections
+// must not fire inside the recovery path the oracle is judging.
+func crashReplayCheck(k *kernel.Kernel) string {
+	k.InjectFaults(nil)
+	ctx := k.NewCtx(0)
+	k.FS.Crash(ctx)
+	if n := k.FS.Inodes(); n != 0 {
+		return fmt.Sprintf("post-crash: %d in-memory inodes survived the teardown", n)
+	}
+	if n := k.FS.JournalPending(); n != 0 {
+		return fmt.Sprintf("post-crash: %d uncommitted journal records survived", n)
+	}
+	if err := k.FS.Replay(ctx); err != nil {
+		return fmt.Sprintf("replay failed: %v", err)
+	}
+	if n := k.FS.JournalPending(); n != 0 {
+		return fmt.Sprintf("post-replay: %d journal records left pending", n)
+	}
+	if got, want := k.FS.Inodes(), k.FS.DurableInodes(); got != want {
+		return fmt.Sprintf("post-replay: %d inodes materialized, durable image holds %d", got, want)
+	}
+	return ""
 }
 
 // statSnapshot captures the counters that are reported as

@@ -81,13 +81,23 @@ const (
 	// MachineHealth: the health checker ejected or re-admitted a
 	// machine, or a machine's degradation state changed.
 	MachineHealth Name = "machine.health"
+	// ChaosSchedule: a chaos campaign armed a fault schedule for a run
+	// (size = injection count; ctx = the schedule hash).
+	ChaosSchedule Name = "chaos.schedule"
+	// ChaosViolation: an invariant oracle rejected a run (class = the
+	// oracle id).
+	ChaosViolation Name = "chaos.violation"
+	// ChaosMinimize: the delta-debugging minimizer finished shrinking a
+	// violating schedule (size = minimal injection count).
+	ChaosMinimize Name = "chaos.minimize"
 )
 
 // Names lists the catalog in stable (documentation) order.
 func Names() []Name {
 	return []Name{AllocSlab, AllocPage, ObjFree, JournalCommit, BlockDispatch,
 		Migrate, NetRx, NetTx, KswapdWake, DirectReclaim, OOMSpill,
-		LBRoute, LBRetry, LBHedge, LBShed, LBBreaker, MachineCrash, MachineHealth}
+		LBRoute, LBRetry, LBHedge, LBShed, LBBreaker, MachineCrash, MachineHealth,
+		ChaosSchedule, ChaosViolation, ChaosMinimize}
 }
 
 // Event is one emitted trace record.

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"kloc/internal/alloc"
+	"kloc/internal/chaos"
 	"kloc/internal/cluster"
 	"kloc/internal/fault"
 	"kloc/internal/harness"
@@ -379,3 +380,60 @@ func ClusterRouteNames() []string { return cluster.RouteNames() }
 func ClusterBench(o Options) (*Table, *ClusterBenchReport, error) {
 	return harness.ClusterBench(o)
 }
+
+// Chaos campaigns (the deterministic fault-schedule fuzzing plane;
+// DESIGN.md §12).
+type (
+	// ChaosConfig describes one chaos campaign: target, schedule count,
+	// seed, and per-run sizing.
+	ChaosConfig = chaos.Config
+	// ChaosSummary is the machine-readable campaign outcome
+	// (BENCH_chaos.json).
+	ChaosSummary = chaos.Summary
+	// ChaosViolation is one invariant-oracle rejection of one run.
+	ChaosViolation = chaos.Violation
+	// ChaosViolationRecord is one campaign violation with its
+	// minimization outcome.
+	ChaosViolationRecord = chaos.ViolationRecord
+	// ChaosOracle is one invariant check over a run's outcome.
+	ChaosOracle = chaos.Oracle
+	// ChaosArtifact is a self-contained replay artifact
+	// (CHAOS_repro_<hash>.json).
+	ChaosArtifact = chaos.Artifact
+	// ChaosReplayReport is the outcome of re-executing an artifact.
+	ChaosReplayReport = chaos.ReplayReport
+	// FaultSchedule is a pure timed injection schedule — what the chaos
+	// generator samples and the minimizer shrinks.
+	FaultSchedule = fault.Schedule
+	// FaultInjection is one scheduled injection of a FaultSchedule.
+	FaultInjection = fault.Injection
+)
+
+// Chaos campaign targets.
+const (
+	ChaosTargetCluster = chaos.TargetCluster
+	ChaosTargetMachine = chaos.TargetMachine
+)
+
+// ChaosSchemaVersion stamps chaos summaries and replay artifacts.
+const ChaosSchemaVersion = chaos.SchemaVersion
+
+// RunChaosCampaign executes one chaos campaign ("klocbench -exp
+// chaos"): generate fault schedules, run each against the target, judge
+// with the invariant-oracle registry, and shrink every violation to a
+// minimal repro with a replay artifact.
+func RunChaosCampaign(cfg ChaosConfig) (*ChaosSummary, []*ChaosArtifact, error) {
+	return chaos.RunCampaign(cfg)
+}
+
+// ChaosOracles lists the invariant oracles for a campaign target, in
+// checking order.
+func ChaosOracles(target string) []ChaosOracle { return chaos.Registry(target) }
+
+// ParseChaosArtifact deserializes and validates a replay artifact.
+func ParseChaosArtifact(data []byte) (*ChaosArtifact, error) { return chaos.ParseArtifact(data) }
+
+// ChaosReplay re-executes an artifact's schedule twice ("klocbench
+// -exp chaos -replay FILE") and reports whether the violation
+// reproduces deterministically.
+func ChaosReplay(a *ChaosArtifact) (*ChaosReplayReport, error) { return chaos.Replay(a) }
