@@ -2,7 +2,7 @@
 # keep `make verify` green before merging.
 GO ?= go
 
-.PHONY: verify vet lint build test race bench eval evalfull chaos
+.PHONY: verify vet lint build test race bench eval evalfull chaos perf
 
 verify: vet lint build race
 
@@ -48,3 +48,10 @@ evalfull:
 # `klocbench -exp chaos -replay <file>`.
 chaos:
 	$(GO) run ./cmd/klocbench -exp chaos -quick -chaos-out BENCH_chaos.json
+
+# perf runs the quick hot-path accounting sweep (PERFORMANCE.md) with
+# wall metrics on stdout and the deterministic report in
+# BENCH_perf.json; exits 1 if the full fast path regresses below the
+# exact baseline on any micro stage.
+perf:
+	$(GO) run ./cmd/klocbench -exp perf -quick -perf-out BENCH_perf.json

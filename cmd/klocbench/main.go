@@ -13,6 +13,8 @@
 //	klocbench -exp chaos                # chaos campaign -> BENCH_chaos.json
 //	klocbench -exp chaos -quick         # fixed-seed 50-schedule smoke campaign
 //	klocbench -exp chaos -replay CHAOS_repro_X.json  # re-run a minimized repro
+//	klocbench -exp perf                 # accounting-variant sweep -> BENCH_perf.json
+//	klocbench -exp perf -quick -perf-wall  # + machine-dependent wall metrics in the JSON
 //	klocbench -exp fig4 -quick          # reduced duration
 //	klocbench -run -policy klocs -workload rocksdb   # one raw run
 //	klocbench -run -trace run.json      # raw run + Chrome trace export
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"kloc"
 )
@@ -49,6 +52,9 @@ func main() {
 		traceEvents = flag.String("trace-events", "", "comma-separated event-name patterns to trace (\"alloc.*,oom.spill\"); empty traces the full catalog")
 		sanitize    = flag.Bool("sanitize", false, "with -run: arm the KASAN/kmemleak-analog sanitizer; findings fail the run (exit 1)")
 		benchOut    = flag.String("bench-out", "BENCH_cluster.json", "with -exp cluster: write the machine-readable sweep to this file")
+
+		perfOut  = flag.String("perf-out", "BENCH_perf.json", "with -exp perf: write the machine-readable sweep to this file")
+		perfWall = flag.Bool("perf-wall", false, "with -exp perf: include wall-clock metrics (events/sec, p95, allocs/op) in the JSON; off keeps the report byte-identical across runs (PERFORMANCE.md)")
 
 		chaosTarget = flag.String("chaos-target", "cluster", "with -exp chaos: campaign target (cluster or machine)")
 		chaosOut    = flag.String("chaos-out", "BENCH_chaos.json", "with -exp chaos: write the machine-readable campaign summary to this file")
@@ -143,6 +149,10 @@ func main() {
 	}
 	for _, name := range names {
 		switch name {
+		case "perf":
+			if err := runPerfBench(opts, *quick, *perfWall, *perfOut); err != nil {
+				fatal(fmt.Errorf("perf: %w", err))
+			}
 		case "cluster":
 			if err := runClusterBench(opts, *benchOut); err != nil {
 				fatal(fmt.Errorf("cluster: %w", err))
@@ -165,6 +175,34 @@ func main() {
 			fmt.Println(table)
 		}
 	}
+}
+
+// runPerfBench executes the accounting-variant sweep (PERFORMANCE.md)
+// and writes BENCH_perf.json. This is the tree's single sanctioned
+// wall-clock read: the perf harness must measure real throughput, and
+// injects the reading as a clock function so measurement can never
+// leak into simulation state. A sweep whose optimized variants run
+// slower than the exact baseline fails (exit 1).
+func runPerfBench(opts kloc.Options, quick, wall bool, out string) error {
+	cfg := kloc.PerfConfig{Seed: opts.Seed, Quick: quick, IncludeWall: wall}
+	//klocs:wallclock perf measurement only; the simulation stays in virtual time
+	base := time.Now()
+	//klocs:wallclock perf measurement only (monotonic delta against base)
+	cfg.Now = func() int64 { return time.Now().Sub(base).Nanoseconds() }
+	table, rep, err := kloc.PerfBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table)
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf sweep written to %s\n", out)
+	return rep.SanityCheck()
 }
 
 // runChaosCampaign executes a chaos campaign and writes the summary
@@ -275,14 +313,17 @@ func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
 		"usage: klocbench -exp <id>[,<id>...] [-quick] [-duration-ms N] [-seed N] [-scale N]\n"+
 			"       klocbench -exp chaos [-quick] [-chaos-target T] [-replay FILE]\n"+
+			"       klocbench -exp perf [-quick] [-perf-wall] [-perf-out FILE]\n"+
 			"       klocbench -run [-policy P] [-workload W] [-optane] [-sanitize] [-trace FILE [-trace-events GLOBS]]\n\n"+
 			"experiments: %s\n"+
 			"'all' expands to the paper experiments above and composes with the extras\n"+
-			"('all,cluster,chaos' appends both). The extras are excluded from 'all':\n"+
+			"('all,cluster,chaos,perf' appends them). The extras are excluded from 'all':\n"+
 			"  cluster  serving-plane sweep -> BENCH_cluster.json (see -bench-out)\n"+
 			"  chaos    fault-schedule fuzzing campaign -> BENCH_chaos.json plus one\n"+
 			"           CHAOS_repro_*.json replay artifact per invariant violation;\n"+
-			"           violations exit 1 (see -chaos-target, -chaos-out, -replay)\n\nflags:\n",
+			"           violations exit 1 (see -chaos-target, -chaos-out, -replay)\n"+
+			"  perf     hot-path accounting-variant sweep -> BENCH_perf.json\n"+
+			"           (PERFORMANCE.md; see -perf-out, -perf-wall)\n\nflags:\n",
 		strings.Join(kloc.ExperimentNames(), ", "))
 	flag.PrintDefaults()
 }
@@ -325,12 +366,13 @@ func writeTrace(t *kloc.Tracer, path string) error {
 // paper experiments and composes with the extras ("all,cluster,chaos"
 // appends both). Unknown IDs are rejected up front with the valid set,
 // so a typo fails fast instead of after an hour of earlier
-// experiments. "cluster" and "chaos" are addressable by name but
-// deliberately outside "all": the sweep reports serving-plane metrics
-// (goodput, availability) and the campaign hunts invariant violations
-// — neither regenerates a paper figure.
+// experiments. "cluster", "chaos", and "perf" are addressable by name
+// but deliberately outside "all": the sweep reports serving-plane
+// metrics (goodput, availability), the campaign hunts invariant
+// violations, and the perf sweep measures the simulator's own hot
+// paths — none regenerates a paper figure.
 func resolveExperiments(exp string) ([]string, error) {
-	valid := map[string]bool{"cluster": true, "chaos": true}
+	valid := map[string]bool{"cluster": true, "chaos": true, "perf": true}
 	for _, n := range kloc.ExperimentNames() {
 		valid[n] = true
 	}
@@ -354,13 +396,13 @@ func resolveExperiments(exp string) ([]string, error) {
 			continue
 		}
 		if !valid[n] {
-			return nil, fmt.Errorf("unknown experiment %q (valid: %s, cluster, chaos, or 'all')",
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, cluster, chaos, perf, or 'all')",
 				n, strings.Join(kloc.ExperimentNames(), ", "))
 		}
 		add(n)
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("no experiment named (valid: %s, cluster, chaos, or 'all')",
+		return nil, fmt.Errorf("no experiment named (valid: %s, cluster, chaos, perf, or 'all')",
 			strings.Join(kloc.ExperimentNames(), ", "))
 	}
 	return names, nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,5 +174,63 @@ func TestExperimentSmoke(t *testing.T) {
 	}
 	if !strings.Contains(tbl.String(), "rocksdb") {
 		t.Fatalf("table missing workload row:\n%s", tbl)
+	}
+}
+
+func TestResolveExperimentsPerf(t *testing.T) {
+	names, err := resolveExperiments("perf")
+	if err != nil || len(names) != 1 || names[0] != "perf" {
+		t.Fatalf("resolve perf = %v, %v", names, err)
+	}
+	// perf is an extra: 'all' must not pull it in.
+	names, err = resolveExperiments("all,perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kloc.ExperimentNames()) + 1; len(names) != want {
+		t.Fatalf("all,perf = %d experiments, want %d: %v", len(names), want, names)
+	}
+	if names[len(names)-1] != "perf" {
+		t.Fatalf("perf not appended after 'all': %v", names)
+	}
+}
+
+// TestPerfBenchSmoke drives -exp perf end to end through the same
+// entry point main uses: quick sweep, report written, schema intact,
+// wall metrics kept out of the artifact by default.
+func TestPerfBenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_perf.json")
+	opts := kloc.Options{Seed: 42}
+	if err := runPerfBench(opts, true, false, out); err != nil {
+		// The sanity gate times real code under a real clock; on a noisy
+		// test machine "slower than baseline" is load, not a bug. The
+		// artifact is written before the gate, so the schema checks
+		// below still run. Any other error is a genuine failure.
+		if !strings.Contains(err.Error(), "slower than baseline") {
+			t.Fatal(err)
+		}
+		t.Logf("sanity gate tripped on a loaded machine: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep kloc.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if rep.SchemaVersion != kloc.PerfSchemaVersion {
+		t.Fatalf("schema %d, want %d", rep.SchemaVersion, kloc.PerfSchemaVersion)
+	}
+	if !rep.Quick || rep.Seed != 42 {
+		t.Fatalf("config not reflected: quick=%v seed=%d", rep.Quick, rep.Seed)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows in artifact")
+	}
+	for _, row := range rep.Rows {
+		if row.Wall != nil {
+			t.Fatalf("wall metrics leaked into the default artifact (%s/%s)", row.Stage, row.Variant)
+		}
 	}
 }

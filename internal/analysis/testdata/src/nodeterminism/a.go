@@ -63,6 +63,20 @@ func keyedWrites(m map[string]int, out map[string]int) {
 	}
 }
 
+// measuredClock would be flagged, but the wallclock marker vouches for
+// it: perf-measurement clock reads are the one sanctioned time.Now.
+func measuredClock() int64 {
+	//klocs:wallclock fixture: measurement clock, never simulation state
+	return time.Now().UnixNano()
+}
+
+// sleepStaysForbidden: the wallclock marker only pardons time.Now;
+// sleeps and timers have no measurement use.
+func sleepStaysForbidden() {
+	//klocs:wallclock fixture: must not suppress a sleep
+	time.Sleep(time.Millisecond) // want "the simulator runs in virtual time"
+}
+
 // annotated would be flagged, but the marker vouches for it.
 func annotated(m map[string]int) {
 	//klocs:unordered fixture: order deliberately unspecified here

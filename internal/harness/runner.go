@@ -117,6 +117,13 @@ type RunConfig struct {
 	// use-after-free accesses, leaked objects grouped by KLOC context)
 	// is returned on Result.Sanitize.
 	Sanitize bool
+
+	// Accounting selects the hot-path accounting mode (DESIGN.md §13).
+	// The zero value resolves to metrics.DefaultMode (batched + pooled
+	// + indexed); the perf harness passes metrics.LegacyMode-derived
+	// variants for its A/B sweeps. Every mode yields byte-identical
+	// simulation results — this knob trades only bookkeeping cost.
+	Accounting metrics.Mode
 }
 
 // Result is one run's outcome.
@@ -191,6 +198,13 @@ type Result struct {
 	Trace      *trace.Tracer
 	TraceStats trace.Stats
 
+	// Perf reports the run's hot-path accounting meters (DESIGN.md
+	// §13): deterministic evidence of how much bookkeeping the active
+	// Accounting mode actually did — accumulator adds vs committed net
+	// deltas, frame/ctx pool recycling, trace summary commits. Purely
+	// informational; every mode produces identical simulation results.
+	Perf PerfMeters
+
 	// Sanitize is the runtime sanitizer's end-of-run report (nil when
 	// RunConfig.Sanitize was off).
 	Sanitize *alloc.SanReport
@@ -244,6 +258,7 @@ func (c RunConfig) buildMemory() *memsim.Memory {
 func Run(cfg RunConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	mem := cfg.buildMemory()
+	mem.SetMode(cfg.Accounting)
 	pol := cfg.Policy
 	if pol == nil {
 		var err error
@@ -273,7 +288,14 @@ func Run(cfg RunConfig) (*Result, error) {
 	// trace.
 	var tracer *trace.Tracer
 	if cfg.Trace != nil {
-		tracer = trace.New(*cfg.Trace)
+		tc := *cfg.Trace
+		if tc.Mode == 0 {
+			// The run's accounting mode governs the tracer too, unless
+			// the trace config pinned one explicitly (the perf A/B runs
+			// do both together).
+			tc.Mode = cfg.Accounting
+		}
+		tracer = trace.New(tc)
 		k.AttachTracer(tracer)
 	}
 	// The sanitizer attaches before setup for the same reason: it is
@@ -369,6 +391,9 @@ func Run(cfg RunConfig) (*Result, error) {
 				}
 			}
 			cost := ctx.Cost
+			// The op has retired and nothing downstream retains ctx, so
+			// it can go back to the pool (no-op unless ModePooled).
+			k.PutCtx(ctx)
 			if cost < 100 {
 				cost = 100
 			}
@@ -402,12 +427,25 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.ShrinkerStats = k.Pressure.ShrinkerStats()
 	res.Trace = tracer
 	res.TraceStats = tracer.Stats()
+	res.Perf = PerfMeters{Mem: k.Mem.PerfCounters(), TraceCommits: tracer.SummaryCommits()}
+	res.Perf.CtxFresh, res.Perf.CtxReused = k.CtxPoolCounters()
 	res.Sanitize = k.SanitizeReport(eng.Now())
 	if cfg.CrashReplay {
 		res.CrashReplayed = true
 		res.CrashViolation = crashReplayCheck(k)
 	}
 	return res, nil
+}
+
+// PerfMeters are one run's hot-path accounting meters (DESIGN.md §13):
+// Mem carries the per-CPU accumulator and frame-pool counters,
+// TraceCommits the tracer's batched summary commits (zero when tracing
+// was off), and CtxFresh/CtxReused the op-context pool's behavior.
+// All are deterministic at a given seed and mode.
+type PerfMeters struct {
+	Mem                 memsim.PerfCounters
+	TraceCommits        uint64
+	CtxFresh, CtxReused uint64
 }
 
 // crashReplayCheck crashes the FS and replays its journal, returning
@@ -451,6 +489,9 @@ type statSnapshot struct {
 }
 
 func snapshot(k *kernel.Kernel) statSnapshot {
+	// Batched/indexed accounting lags the shared Stats between flushes;
+	// materialize before reading so measured-window deltas are exact.
+	k.Mem.SyncStats()
 	st := statSnapshot{
 		refs:         k.Mem.Stats.Refs,
 		allocsByNode: make(map[memsim.NodeID][6]uint64),
@@ -470,6 +511,7 @@ func snapshot(k *kernel.Kernel) statSnapshot {
 
 func collect(cfg RunConfig, k *kernel.Kernel, pol kernel.Policy, wl workload.Workload, ops int, start sim.Time, base statSnapshot) *Result {
 	mem := k.Mem
+	mem.SyncStats()
 	res := &Result{
 		Policy:      pol.Name(),
 		Workload:    wl.Name(),

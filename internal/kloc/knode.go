@@ -173,11 +173,15 @@ type registryStats struct {
 // Registry is the global KLOC state: the kmap, the per-CPU fast paths,
 // and the knode slab.
 type Registry struct {
-	kmap   *rbtree.Tree[uint64, *Knode]
-	byID   map[KnodeID]*Knode
-	fast   *percpu.Lists[*Knode]
-	slab   *alloc.SlabCache
-	nextID KnodeID
+	kmap *rbtree.Tree[uint64, *Knode]
+	// byID is the legacy ID index; under metrics.ModeIndexed the dense
+	// byIDDense slice replaces it (knode IDs are monotonic from 1, so
+	// the ID is the slot — no per-op map hash on the free/touch path).
+	byID      map[KnodeID]*Knode
+	byIDDense []*Knode
+	fast      *percpu.Lists[*Knode]
+	slab      *alloc.SlabCache
+	nextID    KnodeID
 
 	// SplitTrees controls the rbtree-cache/rbtree-slab split; disabling
 	// it (single tree per knode) is the paper's rejected design, kept
@@ -200,7 +204,9 @@ const perCPUListCap = 64
 // NewRegistry builds the KLOC state over a memory system with the given
 // CPU count. Knode storage comes from a dedicated (pinned, ClassMeta)
 // slab cache placed on the given fallback order — the paper always
-// allocates knodes to fast memory (§4.2.2).
+// allocates knodes to fast memory (§4.2.2). The registry inherits the
+// memory system's accounting mode: under metrics.ModeIndexed the
+// by-ID index is a dense slice instead of a map.
 func NewRegistry(mem *memsim.Memory, cpus int) *Registry {
 	// knodeStructBytes is a compile-time-known valid size, so the only
 	// failure is programmer error; a nil slab makes MapKnode return
@@ -209,15 +215,56 @@ func NewRegistry(mem *memsim.Memory, cpus int) *Registry {
 	if err == nil {
 		slab.Class = memsim.ClassMeta
 	}
-	return &Registry{
+	r := &Registry{
 		kmap:            rbtree.New[uint64, *Knode](),
-		byID:            make(map[KnodeID]*Knode),
 		fast:            percpu.New[*Knode](cpus, perCPUListCap),
 		slab:            slab,
 		nextID:          1,
 		SplitTrees:      true,
 		FastPathEnabled: true,
 	}
+	if mem != nil && mem.Mode().Indexed() {
+		r.byIDDense = make([]*Knode, 1) // slot 0 unused: IDs start at 1
+	} else {
+		r.byID = make(map[KnodeID]*Knode)
+	}
+	return r
+}
+
+// knodeByID resolves an ID through whichever index the mode keeps.
+func (r *Registry) knodeByID(id KnodeID) (*Knode, bool) {
+	if r.byIDDense != nil {
+		i := int(id)
+		if i <= 0 || i >= len(r.byIDDense) || r.byIDDense[i] == nil {
+			return nil, false
+		}
+		return r.byIDDense[i], true
+	}
+	kn, ok := r.byID[id]
+	return kn, ok
+}
+
+// indexByID records a new knode in the active ID index.
+func (r *Registry) indexByID(kn *Knode) {
+	if r.byIDDense != nil {
+		for len(r.byIDDense) <= int(kn.ID) {
+			r.byIDDense = append(r.byIDDense, nil)
+		}
+		r.byIDDense[kn.ID] = kn
+		return
+	}
+	r.byID[kn.ID] = kn
+}
+
+// unindexByID drops a knode from the active ID index.
+func (r *Registry) unindexByID(kn *Knode) {
+	if r.byIDDense != nil {
+		if int(kn.ID) < len(r.byIDDense) {
+			r.byIDDense[kn.ID] = nil
+		}
+		return
+	}
+	delete(r.byID, kn.ID)
 }
 
 // Len reports the number of live knodes.
@@ -255,7 +302,7 @@ func (r *Registry) MapKnode(inode uint64, allocOrder []memsim.NodeID, now sim.Ti
 	}
 	r.nextID++
 	r.kmap.Set(inode, kn)
-	r.byID[kn.ID] = kn
+	r.indexByID(kn)
 	r.Stats.KnodesCreated++
 	return kn, cost + lookupCost(r.kmap.Depth()), nil
 }
@@ -310,7 +357,7 @@ func (r *Registry) RemoveObject(o *kobj.Object) sim.Duration {
 	if o.Knode == 0 {
 		return 0
 	}
-	kn, ok := r.byID[KnodeID(o.Knode)]
+	kn, ok := r.knodeByID(KnodeID(o.Knode))
 	if !ok {
 		return 0
 	}
@@ -354,7 +401,7 @@ func (r *Registry) Delete(inode uint64) sim.Duration {
 	}
 	cost := lookupCost(r.kmap.Depth())
 	r.kmap.Delete(inode)
-	delete(r.byID, kn.ID)
+	r.unindexByID(kn)
 	r.fast.Invalidate(kn)
 	r.slab.Free(kn.slot)
 	kn.slot = nil
@@ -367,14 +414,13 @@ func (r *Registry) Get(inode uint64) (*Knode, bool) { return r.kmap.Get(inode) }
 
 // GetByID returns a knode by its ID.
 func (r *Registry) GetByID(id KnodeID) (*Knode, bool) {
-	kn, ok := r.byID[id]
-	return kn, ok
+	return r.knodeByID(id)
 }
 
 // TouchID refreshes a knode's recency by ID (used when a page access is
 // attributed to its KLOC via the frame's knode stamp).
 func (r *Registry) TouchID(id KnodeID, cpu int, now sim.Time) {
-	kn, ok := r.byID[id]
+	kn, ok := r.knodeByID(id)
 	if !ok {
 		return
 	}

@@ -173,13 +173,18 @@ func NewObject(id ID, t Type, frame *memsim.Frame, born sim.Time, release func()
 	return &Object{ID: id, Type: t, Size: t.Info().Size, Frame: frame, Born: born, release: release}
 }
 
-// Release returns the object's storage. Safe to call once.
+// Release returns the object's storage. Safe to call once. The frame
+// pointer is cleared so that any index entry that outlives the object
+// (for example a KLOC tree slot left behind by a late re-association)
+// reads "no storage" instead of aliasing a frame the allocator may
+// recycle.
 func (o *Object) Release() {
 	if o.release != nil {
 		r := o.release
 		o.release = nil
 		r()
 	}
+	o.Frame = nil
 }
 
 // Relocatable reports whether the object's storage can migrate.

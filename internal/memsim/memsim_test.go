@@ -66,6 +66,7 @@ func TestAccessCostOrdering(t *testing.T) {
 	if ff.LastAccess != 1 || fs.LastAccess != 1 {
 		t.Fatal("LastAccess not updated")
 	}
+	m.SyncStats() // batched mode: direct Stats reads need a flush
 	if m.Stats.Refs[ClassApp] != 2 {
 		t.Fatalf("refs = %d", m.Stats.Refs[ClassApp])
 	}
@@ -78,6 +79,7 @@ func TestAccessDirtyAndBytes(t *testing.T) {
 	if !f.Dirty {
 		t.Fatal("write did not dirty the frame")
 	}
+	m.SyncStats() // batched mode: direct Stats reads need a flush
 	if m.Stats.BytesTouched[ClassCache] != 512 {
 		t.Fatalf("bytes touched = %d", m.Stats.BytesTouched[ClassCache])
 	}

@@ -1,0 +1,89 @@
+package metrics
+
+import "strings"
+
+// Mode selects the accounting implementation the hot paths use. It is
+// a bitmask of independent optimizations so the perf harness
+// (internal/perfbench, PERFORMANCE.md) can A/B each one against the
+// legacy per-event path under the same workload:
+//
+//   - ModeBatched: per-CPU/net-delta batched counters (percpu.
+//     Accumulator in memsim, run-length summary commits in trace)
+//     instead of a shared-store write per event.
+//   - ModePooled: freelist-recycled hot-path records (memsim frames,
+//     kernel syscall contexts) instead of a heap allocation per op.
+//   - ModeIndexed: dense slice indices (node-, class- and knode-ID-
+//     indexed arrays) instead of a per-op map lookup.
+//
+// The zero Mode means "unset" and resolves to DefaultMode, so zero
+// configs everywhere in the module get the fast path. The legacy
+// per-event path is only reachable by asking for it explicitly via
+// LegacyMode — it exists as the benchmark baseline, not as a
+// supported configuration.
+//
+// Every mode produces byte-identical simulation results: the knobs
+// change how accounting is stored between reads, never what a read
+// observes (flush points are chosen so any reader sees exact values;
+// see DESIGN.md §13 for the determinism argument).
+type Mode uint8
+
+// Mode bits. modeExplicit distinguishes LegacyMode (all optimizations
+// off, explicitly) from the zero value (unset, resolves to default).
+const (
+	ModeBatched Mode = 1 << iota
+	ModePooled
+	ModeIndexed
+	modeExplicit
+)
+
+// DefaultMode is the accounting path production runs use: batched,
+// pooled, and indexed all on.
+func DefaultMode() Mode { return modeExplicit | ModeBatched | ModePooled | ModeIndexed }
+
+// LegacyMode is the pre-optimization per-event accounting path, kept
+// reachable as the perf harness's baseline variant. Or bits onto it
+// to enable single optimizations: LegacyMode()|ModeBatched is the
+// "batched only" variant.
+func LegacyMode() Mode { return modeExplicit }
+
+// Resolve maps the unset zero value to DefaultMode and returns any
+// explicit mode unchanged.
+func (m Mode) Resolve() Mode {
+	if m == 0 {
+		return DefaultMode()
+	}
+	return m
+}
+
+// Batched reports whether batched accounting is on (after resolving).
+func (m Mode) Batched() bool { return m.Resolve()&ModeBatched != 0 }
+
+// Pooled reports whether record pooling is on (after resolving).
+func (m Mode) Pooled() bool { return m.Resolve()&ModePooled != 0 }
+
+// Indexed reports whether dense indexing is on (after resolving).
+func (m Mode) Indexed() bool { return m.Resolve()&ModeIndexed != 0 }
+
+// String renders the mode for reports: "baseline" for the legacy
+// path, "default" for the full fast path, else the enabled bits
+// joined by "+" ("batched+indexed").
+func (m Mode) String() string {
+	r := m.Resolve()
+	if r == DefaultMode() {
+		return "default"
+	}
+	var parts []string
+	if r&ModeBatched != 0 {
+		parts = append(parts, "batched")
+	}
+	if r&ModePooled != 0 {
+		parts = append(parts, "pooled")
+	}
+	if r&ModeIndexed != 0 {
+		parts = append(parts, "indexed")
+	}
+	if len(parts) == 0 {
+		return "baseline"
+	}
+	return strings.Join(parts, "+")
+}

@@ -1,0 +1,505 @@
+// Package perfbench is the variant-comparison benchmark harness behind
+// `klocbench -exp perf` (PERFORMANCE.md). It runs the same workload
+// sweep under named accounting variants — per-event baseline counters,
+// per-CPU batched accumulators, pooled records, dense indices — and
+// reports, per stage and variant, a deterministic core (events
+// processed, accumulator adds vs committed net deltas, pool recycling,
+// trace summary commits) plus, when a wall clock is injected, wall
+// metrics (events/sec, sampled p95 ns/event, a long-block contention
+// proxy, allocs/op).
+//
+// Determinism contract: the sweep's simulated work and every
+// deterministic counter are byte-for-byte reproducible at a given seed
+// — the BENCH_perf.json report is identical across two same-seed runs.
+// Wall metrics are inherently machine-dependent, so they print to
+// stdout but enter the JSON only when Config.IncludeWall is set (CI's
+// byte-identity check runs without it). The wall clock itself is an
+// injected dependency (Config.Now): this package never reads time.Now,
+// keeping it usable from deterministic tests with a fake clock.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"kloc/internal/harness"
+	"kloc/internal/kloc"
+	"kloc/internal/memsim"
+	"kloc/internal/metrics"
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+// SchemaVersion stamps BENCH_perf.json so downstream consumers can
+// detect shape changes.
+const SchemaVersion = 1
+
+// Config tunes a perf sweep.
+type Config struct {
+	// Seed drives the end-to-end stage's simulation (default 42).
+	Seed uint64
+	// Quick shrinks every stage (CI smoke mode).
+	Quick bool
+	// Now is the injected wall clock (nanoseconds, monotonic). Nil
+	// disables wall metrics entirely: the sweep still executes every
+	// stage identically and reports the deterministic core.
+	Now func() int64
+	// IncludeWall copies the wall metrics into the JSON report. Leave
+	// off for byte-identical reports across runs (the default); stdout
+	// gets the wall numbers either way when Now is set.
+	IncludeWall bool
+}
+
+// Variant names one accounting configuration under test.
+type Variant struct {
+	Name string       `json:"name"`
+	Mode metrics.Mode `json:"-"`
+	// ModeString renders Mode for the report ("baseline", "batched",
+	// "default", ...).
+	ModeString string `json:"mode"`
+}
+
+// Variants is the sweep's catalog: the baseline (exact per-event
+// accounting everywhere), each optimization in isolation, and the full
+// default stack. PERFORMANCE.md documents how to add one.
+func Variants() []Variant {
+	vs := []Variant{
+		{Name: "baseline", Mode: metrics.LegacyMode()},
+		{Name: "batched", Mode: metrics.LegacyMode() | metrics.ModeBatched},
+		{Name: "pooled", Mode: metrics.LegacyMode() | metrics.ModePooled},
+		{Name: "indexed", Mode: metrics.LegacyMode() | metrics.ModeIndexed},
+		{Name: "full", Mode: metrics.DefaultMode()},
+	}
+	for i := range vs {
+		vs[i].ModeString = vs[i].Mode.String()
+	}
+	return vs
+}
+
+// Counters is the deterministic core every stage reports: how much
+// bookkeeping the variant actually did while processing the same
+// simulated work.
+type Counters struct {
+	AccAdds      uint64 `json:"acc_adds"`
+	AccCommits   uint64 `json:"acc_commits"`
+	FramesFresh  uint64 `json:"frames_fresh"`
+	FramesReused uint64 `json:"frames_reused"`
+	CtxFresh     uint64 `json:"ctx_fresh"`
+	CtxReused    uint64 `json:"ctx_reused"`
+	TraceCommits uint64 `json:"trace_commits"`
+}
+
+// WallRow is the machine-dependent section of a stage row, present
+// only when a wall clock was injected AND Config.IncludeWall was set.
+type WallRow struct {
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// P95NsPerEvent / MedianNsPerEvent summarize per-block hot-path
+	// latency: each measured block's elapsed wall time divided by its
+	// event count, sampled across Blocks blocks.
+	P95NsPerEvent    float64 `json:"p95_ns_per_event"`
+	MedianNsPerEvent float64 `json:"median_ns_per_event"`
+	// LongBlocks is the contention proxy: blocks whose per-event time
+	// exceeded longBlockFactor x the median (GC pauses, allocator
+	// slow paths, scheduler noise).
+	LongBlocks int `json:"long_blocks"`
+	Blocks     int `json:"blocks"`
+	// AllocsPerOp is the heap-allocation rate over the measured pass
+	// (runtime.MemStats Mallocs delta / events).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// StageRow is one (stage, variant) measurement.
+type StageRow struct {
+	Stage   string `json:"stage"`
+	Variant string `json:"variant"`
+	Mode    string `json:"mode"`
+	Events  uint64 `json:"events"`
+	Counters
+	Wall *WallRow `json:"wall,omitempty"`
+}
+
+// Report is the machine-readable sweep (BENCH_perf.json).
+type Report struct {
+	SchemaVersion int        `json:"schema_version"`
+	Experiment    string     `json:"experiment"`
+	Seed          uint64     `json:"seed"`
+	Quick         bool       `json:"quick"`
+	Variants      []Variant  `json:"variants"`
+	Stages        []string   `json:"stages"`
+	Rows          []StageRow `json:"rows"`
+	// SpeedupVsBaseline maps "stage/variant" to the events/sec ratio
+	// against the same stage's baseline. Wall-derived, so present only
+	// under IncludeWall.
+	SpeedupVsBaseline map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+
+	// wallEPS keeps "stage/variant" -> events/sec in memory for
+	// SanityCheck even when IncludeWall kept it out of the JSON.
+	wallEPS map[string]float64
+}
+
+// JSON renders the report deterministically (map keys sort; two
+// same-seed sweeps without IncludeWall are byte-identical).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// SanityCheck verifies the micro-stage speedups the optimizations must
+// deliver: the full variant processes at least as many events/sec as
+// baseline on every micro stage. It is a sanity gate (>= 1.0x), not a
+// flaky absolute threshold; CI fails when an "optimization" regresses
+// below the exact per-event path. Requires wall metrics on the rows
+// (any Now-injected sweep has them in memory even without IncludeWall).
+func (r *Report) SanityCheck() error {
+	eps := r.wallEPS
+	if len(eps) == 0 {
+		return fmt.Errorf("perfbench: no wall metrics to check (inject a clock)")
+	}
+	for _, stage := range []string{"trace-burst", "alloc-churn", "knode-index"} {
+		base, full := eps[stage+"/baseline"], eps[stage+"/full"]
+		if base == 0 || full == 0 {
+			return fmt.Errorf("perfbench: stage %s missing baseline/full wall metrics", stage)
+		}
+		if full < base {
+			return fmt.Errorf("perfbench: stage %s: full variant slower than baseline (%.0f < %.0f events/sec)",
+				stage, full, base)
+		}
+	}
+	return nil
+}
+
+// longBlockFactor flags a block as "long" (contended) when its
+// per-event time exceeds this multiple of the stage median.
+const longBlockFactor = 4
+
+// measureBlocks is how many timing samples each micro stage takes.
+const measureBlocks = 32
+
+// stageRun is one built, ready-to-measure stage instance: blocks
+// execute the work (returning events processed), counters harvests the
+// deterministic meters afterwards.
+type stageRun struct {
+	blocks   []func() int
+	counters func() Counters
+}
+
+type stageDef struct {
+	name string
+	// warmup stages run a discarded 1/8-size pass on a fresh instance
+	// first (JIT-warm caches, grown maps); the end-to-end stage warms
+	// up inside harness.Run instead.
+	warmup bool
+	build  func(mode metrics.Mode, cfg Config) (*stageRun, error)
+}
+
+func stages() []stageDef {
+	return []stageDef{
+		{name: "trace-burst", warmup: true, build: buildTraceBurst},
+		{name: "alloc-churn", warmup: true, build: buildAllocChurn},
+		{name: "knode-index", warmup: true, build: buildKnodeIndex},
+		{name: "end2end", warmup: false, build: buildEnd2End},
+	}
+}
+
+// stageEvents picks a micro stage's total event count.
+func stageEvents(cfg Config, full int) int {
+	if cfg.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// microBlocks splits total events into measureBlocks closures calling
+// step for each event index.
+func microBlocks(total int, step func(i int)) []func() int {
+	per := total / measureBlocks
+	if per < 1 {
+		per = 1
+	}
+	blocks := make([]func() int, 0, measureBlocks)
+	for b := 0; b < measureBlocks; b++ {
+		start := b * per
+		blocks = append(blocks, func() int {
+			for i := start; i < start+per; i++ {
+				step(i)
+			}
+			return per
+		})
+	}
+	return blocks
+}
+
+// buildTraceBurst exercises the tracer's Emit hot path: a bursty
+// stream (runs of the same context, rotating event names) that the
+// batched summary path can run-length compress.
+func buildTraceBurst(mode metrics.Mode, cfg Config) (*stageRun, error) {
+	total := stageEvents(cfg, 1<<18)
+	tr := trace.New(trace.Config{Mode: mode, BufferEvents: 1 << 12})
+	step := func(i int) {
+		// Context changes every 256 events: long runs for the batched
+		// path, but enough breaks to exercise its flush. The name
+		// rotates so the merged name-state table sees more than one
+		// hot entry (call sites stay constant for the trace catalog).
+		ctx := uint64(1 + (i>>8)&7)
+		now := sim.Time(i * 100)
+		switch i & 3 {
+		case 0:
+			tr.Emit(trace.AllocSlab, now, ctx, uint64(i), "cache", 0, 64)
+		case 1:
+			tr.Emit(trace.AllocPage, now, ctx, uint64(i), "cache", 0, 64)
+		case 2:
+			tr.Emit(trace.ObjFree, now, ctx, uint64(i), "cache", 0, 64)
+		default:
+			tr.Emit(trace.NetRx, now, ctx, uint64(i), "cache", 0, 64)
+		}
+	}
+	return &stageRun{
+		blocks: microBlocks(total, step),
+		counters: func() Counters {
+			return Counters{TraceCommits: tr.SummaryCommits()}
+		},
+	}, nil
+}
+
+// buildAllocChurn exercises the frame alloc/access/free hot path over
+// a sliding window of live frames: the pooled variant recycles Frame
+// structs, the batched variant accumulates access stats, the indexed
+// variant keeps the live table dense.
+func buildAllocChurn(mode metrics.Mode, cfg Config) (*stageRun, error) {
+	total := stageEvents(cfg, 1<<17)
+	mem := memsim.NewTwoTier(memsim.DefaultTwoTier(1024))
+	mem.SetMode(mode)
+	const window = 64
+	live := make([]*memsim.Frame, 0, window)
+	step := func(i int) {
+		f, err := mem.AllocOrder(memsim.FastNode, memsim.ClassCache, 0, sim.Time(i))
+		if err != nil {
+			// Capacity exhausted (cannot happen at this window size,
+			// but degrade by draining rather than crashing).
+			for _, g := range live {
+				mem.Free(g)
+			}
+			live = live[:0]
+			return
+		}
+		mem.Access(i&3, f, 256, i&1 == 0, sim.Time(i))
+		live = append(live, f)
+		if len(live) >= window {
+			mem.Free(live[0])
+			live = live[1:]
+		}
+	}
+	return &stageRun{
+		blocks: microBlocks(total, step),
+		counters: func() Counters {
+			pc := mem.PerfCounters()
+			return Counters{AccAdds: pc.AccAdds, AccCommits: pc.AccCommits,
+				FramesFresh: pc.FramesFresh, FramesReused: pc.FramesReused}
+		},
+	}, nil
+}
+
+// buildKnodeIndex exercises the knode registry's by-ID hot path
+// (TouchID/GetByID on every page access attribution): the indexed
+// variant replaces the ID map with a dense slice.
+func buildKnodeIndex(mode metrics.Mode, cfg Config) (*stageRun, error) {
+	total := stageEvents(cfg, 1<<17)
+	mem := memsim.NewTwoTier(memsim.DefaultTwoTier(1024))
+	mem.SetMode(mode)
+	reg := kloc.NewRegistry(mem, 4)
+	const knodes = 512
+	ids := make([]kloc.KnodeID, 0, knodes)
+	order := []memsim.NodeID{memsim.FastNode, memsim.SlowNode}
+	for j := 0; j < knodes; j++ {
+		kn, _, err := reg.MapKnode(uint64(j+1), order, 0)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: knode-index setup: %w", err)
+		}
+		ids = append(ids, kn.ID)
+	}
+	step := func(i int) {
+		// Lookup-dominated: every event resolves an ID (the hot path
+		// this stage isolates); recency bookkeeping only every 16th
+		// event so TouchID's heavier work does not drown the lookup.
+		id := ids[i%knodes]
+		reg.GetByID(id)
+		if i&15 == 0 {
+			reg.TouchID(id, i&3, sim.Time(i))
+		}
+	}
+	return &stageRun{
+		blocks:   microBlocks(total, step),
+		counters: func() Counters { return Counters{} },
+	}, nil
+}
+
+// buildEnd2End runs one full measured simulation (policy, workload,
+// daemons, tracing off) under the variant's accounting mode. It is a
+// single block: harness.Run is indivisible, so p95 degenerates to the
+// mean and the contention proxy stays zero for this stage.
+func buildEnd2End(mode metrics.Mode, cfg Config) (*stageRun, error) {
+	duration := 100 * sim.Millisecond
+	if cfg.Quick {
+		duration = 20 * sim.Millisecond
+	}
+	var meters Counters
+	block := func() int {
+		res, err := harness.Run(harness.RunConfig{
+			PolicyName: "klocs",
+			Workload:   "rocksdb",
+			Seed:       cfg.Seed,
+			Duration:   duration,
+			Accounting: mode,
+		})
+		if err != nil {
+			return 0
+		}
+		meters = Counters{
+			AccAdds: res.Perf.Mem.AccAdds, AccCommits: res.Perf.Mem.AccCommits,
+			FramesFresh: res.Perf.Mem.FramesFresh, FramesReused: res.Perf.Mem.FramesReused,
+			CtxFresh: res.Perf.CtxFresh, CtxReused: res.Perf.CtxReused,
+			TraceCommits: res.Perf.TraceCommits,
+		}
+		return res.Ops
+	}
+	return &stageRun{
+		blocks:   []func() int{block},
+		counters: func() Counters { return meters },
+	}, nil
+}
+
+// measure executes one built stage instance, timing each block through
+// the injected clock (no-op clock when nil: the work still runs so the
+// deterministic counters are identical with and without timing).
+func measure(run *stageRun, now func() int64) (events uint64, wall *WallRow) {
+	var before, after runtime.MemStats
+	if now != nil {
+		runtime.ReadMemStats(&before)
+	}
+	var elapsed int64
+	perEvent := make([]float64, 0, len(run.blocks))
+	for _, block := range run.blocks {
+		var t0 int64
+		if now != nil {
+			t0 = now()
+		}
+		n := block()
+		if now != nil && n > 0 {
+			dt := now() - t0
+			elapsed += dt
+			perEvent = append(perEvent, float64(dt)/float64(n))
+		}
+		events += uint64(n)
+	}
+	if now == nil || len(perEvent) == 0 || elapsed <= 0 {
+		return events, nil
+	}
+	runtime.ReadMemStats(&after)
+	sort.Float64s(perEvent)
+	median := perEvent[len(perEvent)/2]
+	p95 := perEvent[(len(perEvent)*95+99)/100-1]
+	long := 0
+	for _, v := range perEvent {
+		if v > longBlockFactor*median {
+			long++
+		}
+	}
+	return events, &WallRow{
+		ElapsedNs:        elapsed,
+		EventsPerSec:     float64(events) / (float64(elapsed) / 1e9),
+		P95NsPerEvent:    p95,
+		MedianNsPerEvent: median,
+		LongBlocks:       long,
+		Blocks:           len(perEvent),
+		AllocsPerOp:      float64(after.Mallocs-before.Mallocs) / float64(events),
+	}
+}
+
+// Run executes the sweep: every stage under every variant, baseline
+// first so speedups have their denominator. It returns the rendered
+// table and the machine-readable report.
+func Run(cfg Config) (*harness.Table, *Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.Now == nil {
+		cfg.IncludeWall = false
+	}
+	defs := stages()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Experiment:    "perf",
+		Seed:          cfg.Seed,
+		Quick:         cfg.Quick,
+		Variants:      Variants(),
+	}
+	for _, d := range defs {
+		rep.Stages = append(rep.Stages, d.name)
+	}
+	t := &harness.Table{
+		Title: "Hot-path accounting — same simulated work under each variant",
+		Note: "deterministic core always; events/sec, p95 ns/event, long blocks (contention proxy) " +
+			"and allocs/op need an injected wall clock (see PERFORMANCE.md)",
+		Header: []string{"stage", "variant", "events", "acc-adds", "acc-commits",
+			"reused", "trc-commits", "ev/s", "p95ns", "long", "allocs/op"},
+	}
+	speedup := map[string]float64{}
+	baselineEPS := map[string]float64{}
+	for _, d := range defs {
+		for _, v := range rep.Variants {
+			if d.warmup {
+				warm, err := d.build(v.Mode, Config{Seed: cfg.Seed, Quick: true})
+				if err != nil {
+					return nil, nil, err
+				}
+				// One discarded 1/8-size pass; its instance is dropped
+				// so counters start clean on the measured build.
+				for _, block := range warm.blocks[:len(warm.blocks)/8+1] {
+					block()
+				}
+			}
+			run, err := d.build(v.Mode, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			events, wall := measure(run, cfg.Now)
+			if events == 0 {
+				return nil, nil, fmt.Errorf("perfbench: stage %s/%s processed no events", d.name, v.Name)
+			}
+			row := StageRow{Stage: d.name, Variant: v.Name, Mode: v.ModeString,
+				Events: events, Counters: run.counters()}
+			cells := []string{d.name, v.Name, fmt.Sprintf("%d", events),
+				fmt.Sprintf("%d", row.AccAdds), fmt.Sprintf("%d", row.AccCommits),
+				fmt.Sprintf("%d", row.FramesReused+row.CtxReused),
+				fmt.Sprintf("%d", row.TraceCommits)}
+			if wall != nil {
+				if rep.wallEPS == nil {
+					rep.wallEPS = map[string]float64{}
+				}
+				rep.wallEPS[d.name+"/"+v.Name] = wall.EventsPerSec
+				if v.Name == "baseline" {
+					baselineEPS[d.name] = wall.EventsPerSec
+				} else if base := baselineEPS[d.name]; base > 0 {
+					speedup[d.name+"/"+v.Name] = wall.EventsPerSec / base
+				}
+				cells = append(cells, fmt.Sprintf("%.0f", wall.EventsPerSec),
+					fmt.Sprintf("%.1f", wall.P95NsPerEvent),
+					fmt.Sprintf("%d", wall.LongBlocks),
+					fmt.Sprintf("%.2f", wall.AllocsPerOp))
+				if cfg.IncludeWall {
+					row.Wall = wall
+				}
+			} else {
+				cells = append(cells, "-", "-", "-", "-")
+			}
+			rep.Rows = append(rep.Rows, row)
+			t.AddRow(cells...)
+		}
+	}
+	if cfg.IncludeWall && len(speedup) > 0 {
+		rep.SpeedupVsBaseline = speedup
+	}
+	return t, rep, nil
+}

@@ -31,6 +31,7 @@ import (
 	"path"
 	"sort"
 
+	"kloc/internal/metrics"
 	"kloc/internal/sim"
 )
 
@@ -141,6 +142,15 @@ type Config struct {
 	// SummaryWindow is the virtual-time bucket for per-context summary
 	// counts (default 10 ms).
 	SummaryWindow sim.Duration
+	// Mode selects the summary-accounting path (DESIGN.md §13). The
+	// zero value resolves to metrics.DefaultMode: one merged name-state
+	// lookup per event (ModeIndexed) and run-length batched context/
+	// window commits (ModeBatched). Every mode records byte-identical
+	// events and summaries; only the per-event bookkeeping cost
+	// differs. The ring buffer is natively pooled in every mode — it
+	// is a fixed preallocated array reused in overwrite order — which
+	// is what keeps steady-state Emit at zero heap allocations.
+	Mode metrics.Mode
 }
 
 // Defaults for zero Config fields.
@@ -161,21 +171,46 @@ type ctxStat struct {
 	windows []uint64
 }
 
+// nameState is the merged per-name record of the ModeIndexed fast
+// path: one map lookup answers both "is this name enabled" and "where
+// does its count live".
+type nameState struct {
+	enabled bool
+	count   uint64
+}
+
 // Tracer is an armed tracing plane. A nil *Tracer is valid and records
 // nothing, so subsystems hold a possibly-nil Tracer and call Emit
 // unconditionally — the same discipline as fault.Plane.
 type Tracer struct {
 	cfg Config
-	// enabled memoizes pattern matching per name.
+	// enabled/byName are the legacy per-name stores (two lookups per
+	// event); names merges them under ModeIndexed (one lookup, usually
+	// zero thanks to the lastName MRU register).
 	enabled map[Name]bool
+	byName  map[Name]uint64
+	names   map[Name]*nameState
 
 	ring []Event
 	// next is the ring write index; filled counts live entries.
 	next, filled int
 	seq, dropped uint64
 
-	byName map[Name]uint64
-	byCtx  map[uint64]*ctxStat
+	byCtx map[uint64]*ctxStat
+
+	// batched selects run-length context/window commits (ModeBatched):
+	// consecutive events against the same context in the same summary
+	// window accumulate in the registers below and commit as one net
+	// delta when the run breaks (or on Stats). summaryCommits counts
+	// those commits — the deterministic write-reduction meter.
+	batched        bool
+	lastName       Name
+	lastState      *nameState
+	pCtx           uint64
+	pStat          *ctxStat
+	pWin           int
+	pPending       uint64
+	summaryCommits uint64
 }
 
 // New arms a tracer from a config.
@@ -186,13 +221,88 @@ func New(cfg Config) *Tracer {
 	if cfg.SummaryWindow <= 0 {
 		cfg.SummaryWindow = DefaultSummaryWindow
 	}
-	return &Tracer{
+	t := &Tracer{
 		cfg:     cfg,
-		enabled: make(map[Name]bool),
 		ring:    make([]Event, 0, cfg.BufferEvents),
-		byName:  make(map[Name]uint64),
 		byCtx:   make(map[uint64]*ctxStat),
+		batched: cfg.Mode.Batched(),
 	}
+	if cfg.Mode.Indexed() {
+		t.names = make(map[Name]*nameState)
+	} else {
+		t.enabled = make(map[Name]bool)
+		t.byName = make(map[Name]uint64)
+	}
+	return t
+}
+
+// nameState returns (creating if needed) the merged record for a name.
+func (t *Tracer) nameState(name Name) *nameState {
+	ns := t.names[name]
+	if ns == nil {
+		ns = &nameState{enabled: matchAny(t.cfg.Events, string(name))}
+		t.names[name] = ns
+	}
+	return ns
+}
+
+// ctxState returns (creating if needed) a context's accounting.
+func (t *Tracer) ctxState(ctx uint64) *ctxStat {
+	cs := t.byCtx[ctx]
+	if cs == nil {
+		cs = &ctxStat{}
+		t.byCtx[ctx] = cs
+	}
+	return cs
+}
+
+// flushPending commits the batched registers' run-length count into
+// its context's summary. Idempotent; called on a run break and before
+// any summary read, so readers always see exact totals.
+func (t *Tracer) flushPending() {
+	if t.pStat == nil || t.pPending == 0 {
+		return
+	}
+	t.pStat.total += t.pPending
+	for len(t.pStat.windows) <= t.pWin {
+		t.pStat.windows = append(t.pStat.windows, 0)
+	}
+	t.pStat.windows[t.pWin] += t.pPending
+	t.pPending = 0
+	t.summaryCommits++
+}
+
+// nameCounts lists per-event-name totals in name order, reading
+// whichever per-name store the mode keeps. Names with zero emissions
+// are enablement memos, not counts, and are skipped — the legacy
+// byName map only ever holds emitted names, and the two stores must
+// summarize identically.
+func (t *Tracer) nameCounts() []NameCount {
+	var out []NameCount
+	if t.names != nil {
+		for name, ns := range t.names {
+			if ns.count > 0 {
+				out = append(out, NameCount{Name: name, Count: ns.count})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return out
+	}
+	for name, n := range t.byName {
+		out = append(out, NameCount{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SummaryCommits reports the batched path's context-summary commits
+// (0 in legacy mode, where every event writes through). Deterministic:
+// a pure function of the emitted event sequence.
+func (t *Tracer) SummaryCommits() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.summaryCommits
 }
 
 // Enabled reports whether events of the given name are recorded.
@@ -200,6 +310,9 @@ func New(cfg Config) *Tracer {
 func (t *Tracer) Enabled(name Name) bool {
 	if t == nil {
 		return false
+	}
+	if t.names != nil {
+		return t.nameState(name).enabled
 	}
 	on, ok := t.enabled[name]
 	if !ok {
@@ -227,9 +340,29 @@ func matchAny(patterns []string, s string) bool {
 }
 
 // Emit records one event. Nil-safe and strictly passive: no virtual
-// cost, no randomness, no observable effect on the simulation.
+// cost, no randomness, no observable effect on the simulation. The
+// recorded events and summary totals are byte-identical in every
+// accounting mode; the fast paths only change how many shared-store
+// writes the bookkeeping costs (DESIGN.md §13).
 func (t *Tracer) Emit(name Name, at sim.Time, ctx, obj uint64, class string, node int, size int64) {
-	if !t.Enabled(name) {
+	if t == nil {
+		return
+	}
+	// Per-name accounting: merged single-lookup state under
+	// ModeIndexed (with an MRU register, since emission is bursty), the
+	// legacy enabled+byName map pair otherwise.
+	var ns *nameState
+	if t.names != nil {
+		if name == t.lastName && t.lastState != nil {
+			ns = t.lastState
+		} else {
+			ns = t.nameState(name)
+			t.lastName, t.lastState = name, ns
+		}
+		if !ns.enabled {
+			return
+		}
+	} else if !t.Enabled(name) {
 		return
 	}
 	e := Event{Seq: t.seq, At: at, Name: name, Ctx: ctx, Obj: obj,
@@ -248,17 +381,28 @@ func (t *Tracer) Emit(name Name, at sim.Time, ctx, obj uint64, class string, nod
 	t.next = (t.next + 1) % cap(t.ring)
 
 	// Incremental summaries survive ring drops.
-	t.byName[name]++
-	cs := t.byCtx[ctx]
-	if cs == nil {
-		cs = &ctxStat{}
-		t.byCtx[ctx] = cs
+	if ns != nil {
+		ns.count++
+	} else {
+		t.byName[name]++
 	}
-	cs.total++
 	w := int(at / sim.Time(t.cfg.SummaryWindow))
 	if w >= maxSummaryWindows {
 		w = maxSummaryWindows - 1
 	}
+	if t.batched {
+		// Run-length commit: same context, same window — just extend
+		// the pending run; the net delta commits when the run breaks.
+		if t.pStat != nil && ctx == t.pCtx && w == t.pWin {
+			t.pPending++
+			return
+		}
+		t.flushPending()
+		t.pCtx, t.pStat, t.pWin, t.pPending = ctx, t.ctxState(ctx), w, 1
+		return
+	}
+	cs := t.ctxState(ctx)
+	cs.total++
 	for len(cs.windows) <= w {
 		cs.windows = append(cs.windows, 0)
 	}
@@ -336,11 +480,9 @@ func (t *Tracer) Stats() Stats {
 	if t == nil {
 		return Stats{}
 	}
+	t.flushPending()
 	s := Stats{Emitted: t.seq, Dropped: t.dropped, Window: t.cfg.SummaryWindow}
-	for name, n := range t.byName {
-		s.ByName = append(s.ByName, NameCount{Name: name, Count: n})
-	}
-	sort.Slice(s.ByName, func(i, j int) bool { return s.ByName[i].Name < s.ByName[j].Name })
+	s.ByName = t.nameCounts()
 	for ctx, cs := range t.byCtx {
 		s.Contexts = append(s.Contexts, ContextSummary{
 			Ctx: ctx, Total: cs.total,
