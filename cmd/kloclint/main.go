@@ -21,6 +21,12 @@
 //	               from the internal/fault vocabulary
 //	tracereach     every trace catalog constant has a reachable Emit
 //	               site
+//	ownership      engine-reachable state classifies into the
+//	               lane/epoch/init/shared ownership taxonomy
+//	lockcheck      lock ordering is acyclic, unlocks cover every path,
+//	               atomic and plain access never mix
+//	rngflow        sim.RNG streams are forked explicitly and confined
+//	               to one owner
 //
 // A full-suite, whole-module run also audits the //klocs:* marker
 // comments: a marker no analyzer needed (stale) or whose name is not
@@ -33,7 +39,13 @@
 //	kloclint -only errnocheck,lifecycle
 //	kloclint -json        # diagnostics as a JSON array on stdout
 //	kloclint -sarif out.sarif   # also write SARIF 2.1.0 for CI upload
+//	kloclint -ownership-report PARALLEL_READINESS.md   # readiness spec
 //	kloclint internal/fs internal/netsim   # specific package dirs
+//
+// -ownership-report renders the deterministic parallel-readiness
+// inventory (the PR 10 sharded-engine spec) to the given file ("-"
+// for stdout) and exits without linting; `make lint` fails when the
+// checked-in copy drifts from the code.
 //
 // Exit status: 0 clean, 1 diagnostics (or load failures), 2 flag and
 // usage errors — the same convention as klocbench.
@@ -53,10 +65,11 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list the analyzer suite and exit")
-		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		jsonOut   = flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
-		sarifPath = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
+		list       = flag.Bool("list", false, "list the analyzer suite and exit")
+		only       = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut    = flag.Bool("json", false, "print diagnostics as a JSON array on stdout")
+		sarifPath  = flag.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
+		reportPath = flag.String("ownership-report", "", "write the parallel-readiness inventory to this file (\"-\" for stdout) and exit")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -79,6 +92,12 @@ func main() {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fatal(err)
+	}
+	if *reportPath != "" {
+		if err := writeOwnershipReport(loader, *reportPath); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	wholeModule := len(flag.Args()) == 0
 	targets, err := resolveTargets(loader, flag.Args())
@@ -173,6 +192,29 @@ func main() {
 	os.Exit(exit)
 }
 
+// writeOwnershipReport loads the whole module and renders the
+// deterministic parallel-readiness inventory.
+func writeOwnershipReport(loader *analysis.Loader, path string) error {
+	targets, err := analysis.ModuleTargets(loader.ModuleDir, loader.ModulePath)
+	if err != nil {
+		return err
+	}
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		pkg, err := loader.Load(t.Dir, t.ImportPath)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	report := analysis.OwnershipReport(analysis.NewModule(pkgs))
+	if path == "-" {
+		_, err := os.Stdout.Write(report)
+		return err
+	}
+	return os.WriteFile(path, report, 0o644)
+}
+
 // relPath shortens a filename to be module-relative.
 func relPath(root, name string) string {
 	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
@@ -256,11 +298,13 @@ func resolveTargets(loader *analysis.Loader, args []string) ([]analysis.Target, 
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: kloclint [-list] [-only a,b] [-json] [-sarif file] [package-dir ...]\n\n"+
+		"usage: kloclint [-list] [-only a,b] [-json] [-sarif file] [-ownership-report file] [package-dir ...]\n\n"+
 			"Lints the module's packages with the invariant analyzer suite\n"+
 			"(see internal/analysis and DESIGN.md §10). With no package\n"+
 			"directories the whole module is linted, including the\n"+
-			"interprocedural analyzers and the marker suppression audit.\n\nflags:\n")
+			"interprocedural analyzers and the marker suppression audit.\n"+
+			"-ownership-report instead renders the parallel-readiness\n"+
+			"inventory (PARALLEL_READINESS.md) and exits.\n\nflags:\n")
 	flag.PrintDefaults()
 }
 

@@ -32,6 +32,21 @@
 //   - tracereach: every trace catalog constant must have an Emit site
 //     reachable from the module's entry surface.
 //
+// Three more module analyzers form the parallel-readiness plane gating
+// the sharded-engine refactor (DESIGN.md §14, ROADMAP item 2):
+//
+//   - ownership: every package-level var and struct field in the
+//     engine packages carries a lane/epoch/init/shared ownership
+//     class, annotated or inferred; unannotated shared-mutable state
+//     is an error, and kloclint -ownership-report renders the full
+//     inventory into PARALLEL_READINESS.md;
+//   - lockcheck: lock-order cycles (through interface dispatch too),
+//     unlock-on-all-paths via CFG may-held analysis, and atomic/plain
+//     access mixing on the same storage;
+//   - rngflow: sim.RNG streams are single-owner — retaining fields
+//     must declare an owner, construction stays in internal/sim, and
+//     a stream handed off is never drawn from again (Fork a child).
+//
 // A full-suite run also audits the suppression markers themselves
 // (suppressaudit.go): analyzers consult Marked only once a diagnostic
 // is otherwise certain, so a marker that records no hit suppressed
@@ -54,6 +69,9 @@
 //	//klocs:ignore-allocpair  — teardown happens through another path
 //	//klocs:ignore-lifecycle  — ownership transfer the analysis cannot see
 //	//klocs:ignore-tracereach — catalog entry reserved intentionally
+//	//klocs:owner=<class>     — ownership class: lane, epoch, init, or shared
+//	//klocs:ignore-lockcheck  — ordering/release/atomic-mix exception
+//	//klocs:ignore-rngflow    — RNG confinement exception
 //
 // DESIGN.md §10 documents what each analyzer guards and its kernel
 // analog; the runtime complement (the KASAN/kmemleak-analog sanitizer)

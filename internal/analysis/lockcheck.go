@@ -1,0 +1,689 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck is the lockdep analog for the sharded-engine refactor:
+// today the simulation core is deliberately lock-free (lanes plus
+// epoch barriers replace locking), and once PR 10 introduces real
+// concurrency every mutex and atomic that does appear must follow a
+// discipline a deadlock cannot hide in. Three checks, all over the
+// interprocedural engine:
+//
+//   - lock ordering: every acquisition while holding another lock
+//     contributes an order edge (held -> acquired), composed through
+//     call boundaries by bottom-up may-acquire summaries (interface
+//     calls fan out class-hierarchy style, so a cycle threaded through
+//     an interface method is still caught). A cycle in the order graph
+//     is a potential deadlock, reported at each witnessing edge.
+//     Re-acquiring a lock already held — directly or through a callee
+//     that may acquire it — is a self-deadlock.
+//   - unlock-on-all-paths: CFG may-held analysis (the lifecycle
+//     state-machine pattern); a lock still held at function exit with
+//     no deferred unlock is reported at its acquisition site.
+//   - atomic/plain mixing: storage accessed through sync/atomic
+//     anywhere must be accessed through sync/atomic everywhere outside
+//     the init phase — one plain fast-path read next to an atomic
+//     writer is a data race the race detector only finds when the
+//     schedule cooperates.
+//
+// False positives carry //klocs:ignore-lockcheck with a justification.
+var LockCheck = &ModuleAnalyzer{
+	Name: "lockcheck",
+	Doc:  "enforce lock ordering, unlock-on-all-paths, and atomic/plain access discipline",
+	Run:  runLockCheck,
+}
+
+const lockCheckMarker = "ignore-lockcheck"
+
+// lockOp classifies one mutex method call site.
+type lockOp struct {
+	v       *types.Var // lock class: the mutex-holding var or field
+	acquire bool
+	pos     token.Pos
+}
+
+// lockEdge is one order-graph edge: from held while acquiring to.
+type lockEdge struct {
+	from, to *types.Var
+}
+
+type lockChecker struct {
+	pass    *ModulePass
+	g       *CallGraph
+	labels  map[*types.Var]string
+	initFns map[*FuncNode]bool
+	// acquires is the bottom-up may-acquire summary per function.
+	acquires map[*FuncNode]map[*types.Var]bool
+	// edges maps order edges to their earliest witness position.
+	edges map[lockEdge]token.Pos
+}
+
+func runLockCheck(pass *ModulePass) error {
+	lc := &lockChecker{
+		pass:    pass,
+		g:       pass.Module.Graph,
+		labels:  moduleStateLabels(pass.Module),
+		initFns: initPhaseNodes(pass.Module.Graph),
+		edges:   make(map[lockEdge]token.Pos),
+	}
+	lc.acquires = FixpointSummaries(lc.g, lc.computeAcquires, func(old, new map[*types.Var]bool) bool {
+		return len(new) > len(old)
+	})
+	for _, n := range lc.g.Nodes {
+		lc.checkFunc(n)
+	}
+	lc.reportCycles()
+	lc.checkAtomicMixing()
+	return nil
+}
+
+// label names a lock class or atomic cell for diagnostics.
+func (lc *lockChecker) label(v *types.Var) string {
+	if s, ok := lc.labels[v]; ok {
+		return s
+	}
+	return v.Name()
+}
+
+// computeAcquires derives a function's transitive may-acquire set.
+func (lc *lockChecker) computeAcquires(n *FuncNode, get func(*FuncNode) (map[*types.Var]bool, bool)) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	body := n.Body()
+	if body == nil {
+		return out
+	}
+	for _, op := range lockOpsIn(n.Pkg.Info, body) {
+		if op.acquire {
+			out[op.v] = true
+		}
+	}
+	for _, site := range n.Calls {
+		for _, callee := range site.Callees {
+			if sum, ok := get(callee); ok {
+				for v := range sum {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// heldSet maps held lock classes to their earliest acquisition site.
+type heldSet map[*types.Var]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for v, p := range h {
+		out[v] = p
+	}
+	return out
+}
+
+// merge unions other into h keeping the earliest position, reporting
+// growth or improvement.
+func (h heldSet) merge(other heldSet) bool {
+	changed := false
+	//klocs:unordered min-position union per distinct key is commutative
+	for v, p := range other {
+		if cur, ok := h[v]; !ok || p < cur {
+			h[v] = p
+			changed = true
+		}
+	}
+	return changed
+}
+
+// checkFunc runs the may-held CFG analysis over one function:
+// self-deadlocks, deadlock-through-call, order edges, and
+// unlock-on-all-paths.
+func (lc *lockChecker) checkFunc(n *FuncNode) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	cfg := NewCFG(body)
+	if !cfg.OK {
+		return
+	}
+	info := n.Pkg.Info
+	// Deferred unlocks release at every exit.
+	deferred := make(map[*types.Var]bool)
+	ast.Inspect(body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := m.(*ast.DeferStmt); ok {
+			for _, op := range lockOpsIn(info, d) {
+				if !op.acquire {
+					deferred[op.v] = true
+				}
+			}
+		}
+		return true
+	})
+
+	in := make(map[*Block]heldSet, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		in[b] = heldSet{}
+	}
+	transfer := func(b *Block, state heldSet, report bool) heldSet {
+		for _, s := range b.Stmts {
+			if _, isDefer := s.(*ast.DeferStmt); isDefer {
+				continue // releases at exit, not here
+			}
+			callsHeld := state
+			for _, op := range lockOpsIn(info, s) {
+				if op.acquire {
+					if report {
+						if _, held := state[op.v]; held && !lc.pass.Marked(lockCheckMarker, op.pos) {
+							lc.pass.Reportf(op.pos, "acquiring %s while already holding it: self-deadlock", lc.label(op.v))
+						}
+						//klocs:unordered addEdge keeps the min witness position per pair: commutative
+						for held := range state {
+							if held != op.v {
+								lc.addEdge(held, op.v, op.pos)
+							}
+						}
+					}
+					if _, ok := state[op.v]; !ok {
+						state[op.v] = op.pos
+					}
+				} else {
+					delete(state, op.v)
+				}
+			}
+			if report && len(callsHeld) > 0 {
+				lc.checkCallsUnder(n, s, callsHeld)
+			}
+		}
+		return state
+	}
+	// Fixpoint, then one reporting pass (the lifecycle two-phase shape).
+	work := append([]*Block(nil), cfg.Blocks...)
+	for iter := 0; len(work) > 0 && iter < 4*len(cfg.Blocks)+64; iter++ {
+		b := work[0]
+		work = work[1:]
+		out := transfer(b, in[b].clone(), false)
+		for _, succ := range b.Succs {
+			if in[succ].merge(out) {
+				queued := false
+				for _, w := range work {
+					if w == succ {
+						queued = true
+						break
+					}
+				}
+				if !queued {
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		transfer(b, in[b].clone(), true)
+	}
+	// Unlock-on-all-paths: held at the synthetic exit minus deferred.
+	exit := in[cfg.Exit]
+	var leaked []*types.Var
+	for v := range exit {
+		if !deferred[v] {
+			leaked = append(leaked, v)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool { return exit[leaked[i]] < exit[leaked[j]] })
+	for _, v := range leaked {
+		pos := exit[v]
+		if lc.pass.Marked(lockCheckMarker, pos) {
+			continue
+		}
+		lc.pass.Reportf(pos, "%s acquired here is not released on every path out of %s (no unlock or defer covers some exit)", lc.label(v), n.String())
+	}
+}
+
+// checkCallsUnder reports callees that may re-acquire a held lock and
+// records held->acquired order edges through the call, using the
+// bottom-up summaries (this is how an inversion threaded through an
+// interface method is caught).
+func (lc *lockChecker) checkCallsUnder(n *FuncNode, s ast.Stmt, held heldSet) {
+	ast.Inspect(s, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, site := range n.Calls {
+			if site.Call != call {
+				continue
+			}
+			for _, callee := range site.Callees {
+				sum := lc.acquires[callee]
+				var acq []*types.Var
+				for v := range sum {
+					acq = append(acq, v)
+				}
+				sort.Slice(acq, func(i, j int) bool { return acq[i].Pos() < acq[j].Pos() })
+				for _, v := range acq {
+					if hp, isHeld := held[v]; isHeld {
+						_ = hp
+						if !lc.pass.Marked(lockCheckMarker, call.Pos()) {
+							lc.pass.Reportf(call.Pos(), "calling %s while holding %s: the callee may acquire %s again — self-deadlock", callee.String(), lc.label(v), lc.label(v))
+						}
+						continue
+					}
+					//klocs:unordered addEdge keeps the min witness position per pair: commutative
+					for h := range held {
+						if h != v {
+							lc.addEdge(h, v, call.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) addEdge(from, to *types.Var, pos token.Pos) {
+	e := lockEdge{from: from, to: to}
+	if cur, ok := lc.edges[e]; !ok || pos < cur {
+		lc.edges[e] = pos
+	}
+}
+
+// reportCycles finds strongly connected components of the lock-order
+// graph and reports every edge inside one: each is a witness of a
+// potential deadlock.
+func (lc *lockChecker) reportCycles() {
+	if len(lc.edges) == 0 {
+		return
+	}
+	succs := make(map[*types.Var][]*types.Var)
+	var nodes []*types.Var
+	seen := make(map[*types.Var]bool)
+	ordered := make([]lockEdge, 0, len(lc.edges))
+	for e := range lc.edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return lc.edges[ordered[i]] < lc.edges[ordered[j]] })
+	for _, e := range ordered {
+		succs[e.from] = append(succs[e.from], e.to)
+		for _, v := range []*types.Var{e.from, e.to} {
+			if !seen[v] {
+				seen[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	// Tarjan over the lock-class graph.
+	index := make(map[*types.Var]int)
+	lowlink := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	comp := make(map[*types.Var]int)
+	var stack []*types.Var
+	next, ncomp := 0, 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v], lowlink[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	for _, e := range ordered {
+		if comp[e.from] != comp[e.to] || compSize[comp[e.from]] < 2 {
+			continue
+		}
+		pos := lc.edges[e]
+		if lc.pass.Marked(lockCheckMarker, pos) {
+			continue
+		}
+		lc.pass.Reportf(pos, "lock order cycle: %s acquired while holding %s, but elsewhere the order is inverted — potential deadlock", lc.label(e.to), lc.label(e.from))
+	}
+}
+
+// atomicTarget is storage accessed through sync/atomic somewhere in
+// the module.
+type atomicTarget struct {
+	v *types.Var
+	// elem marks element-granular atomics (&v[i]): bare mentions of v
+	// (len, passing, re-making in init) stay legal, element access must
+	// be atomic.
+	elem bool
+}
+
+// checkAtomicMixing reports plain post-init access to storage that is
+// accessed atomically elsewhere.
+func (lc *lockChecker) checkAtomicMixing() {
+	targets := collectAtomicCells(lc.pass.Module)
+	if len(targets) == 0 {
+		return
+	}
+	for _, n := range lc.g.Nodes {
+		if n.Decl == nil || n.Decl.Body == nil {
+			// Literals are visited through their enclosing walk below.
+			continue
+		}
+		lc.checkAtomicBody(n, n.Decl.Body, targets)
+	}
+}
+
+func (lc *lockChecker) checkAtomicBody(n *FuncNode, body ast.Node, targets map[*types.Var]atomicTarget) {
+	info := n.Pkg.Info
+	var walk func(m ast.Node, fn *FuncNode) bool
+	walk = func(m ast.Node, fn *FuncNode) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			target := lc.g.NodeOfLit(x)
+			if target == nil {
+				target = fn
+			}
+			ast.Inspect(x.Body, func(mm ast.Node) bool { return walk(mm, target) })
+			return false
+		case *ast.CallExpr:
+			if isAtomicCall(info, x) {
+				// Sanctioned subtree: do not descend into the arguments.
+				return false
+			}
+		case *ast.IndexExpr:
+			if v := lockTargetVar(info, x.X); v != nil {
+				if t, ok := targets[v]; ok && t.elem {
+					lc.reportPlainAccess(fn, v, x.Pos(), "element")
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			// Only an element-reading range (for i, v := range cells) touches
+			// the atomic storage; an index-only range reads just the length.
+			if x.Value != nil {
+				if v := lockTargetVar(info, x.X); v != nil {
+					if t, ok := targets[v]; ok && t.elem {
+						lc.reportPlainAccess(fn, v, x.X.Pos(), "element")
+						// Keep walking the body; only the ranged read is flagged.
+					}
+				}
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if v := lockTargetVar(info, x.(ast.Expr)); v != nil {
+				if t, ok := targets[v]; ok && !t.elem {
+					lc.reportPlainAccess(fn, v, x.Pos(), "plain")
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(m ast.Node) bool { return walk(m, n) })
+}
+
+func (lc *lockChecker) reportPlainAccess(fn *FuncNode, v *types.Var, pos token.Pos, kind string) {
+	if fn != nil && lc.initFns[fn] {
+		return // construction happens-before sharing
+	}
+	if lc.pass.Marked(lockCheckMarker, pos) {
+		return
+	}
+	lc.pass.Reportf(pos, "%s %s access mixes with sync/atomic use of the same storage elsewhere: use atomic operations (or confine the access to the init phase)", lc.label(v), kind)
+}
+
+// collectAtomicCells finds every var/field whose storage is passed by
+// address to a sync/atomic operation anywhere in the module.
+func collectAtomicCells(m *Module) map[*types.Var]atomicTarget {
+	out := make(map[*types.Var]atomicTarget)
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		inspectFiles(pkg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			elem := false
+			if idx, isIdx := target.(*ast.IndexExpr); isIdx {
+				target, elem = idx.X, true
+			}
+			if v := lockTargetVar(info, target); v != nil {
+				if prev, ok := out[v]; !ok || (prev.elem && !elem) {
+					out[v] = atomicTarget{v: v, elem: elem}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// lockOpsIn extracts mutex Lock/RLock/Unlock/RUnlock calls in a
+// subtree, in source order, without descending into nested function
+// literals (which are analyzed as their own functions).
+func lockOpsIn(info *types.Info, root ast.Node) []lockOp {
+	var ops []lockOp
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || !isSyncLockMethod(fn) {
+			return true
+		}
+		v := lockTargetVar(info, sel.X)
+		if v == nil {
+			return true
+		}
+		name := fn.Name()
+		ops = append(ops, lockOp{v: v, acquire: name == "Lock" || name == "RLock", pos: call.Pos()})
+		return true
+	})
+	return ops
+}
+
+// isSyncLockMethod reports whether fn is sync.Mutex/RWMutex
+// (un)locking.
+func isSyncLockMethod(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockTargetVar resolves the storage a mutex method or atomic operand
+// is rooted in: the innermost field, a package var, or a local var.
+func lockTargetVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.StarExpr:
+		return lockTargetVar(info, x.X)
+	}
+	return nil
+}
+
+// moduleStateLabels names every package var ("pkg.Var") and struct
+// field ("pkg.Type.field") in the module, for diagnostics and the
+// readiness report.
+func moduleStateLabels(m *Module) map[*types.Var]string {
+	labels := make(map[*types.Var]string)
+	for _, pkg := range m.Packages {
+		pkgName := pkg.Types.Name()
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.Var:
+				labels[obj] = pkgName + "." + name
+			case *types.TypeName:
+				if obj.IsAlias() {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					labels[st.Field(i)] = pkgName + "." + name + "." + st.Field(i).Name()
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// collectMutexClasses lists the module's mutex-typed vars and fields
+// for the readiness report, sorted by label.
+func collectMutexClasses(m *Module) []string {
+	var out []string
+	labels := moduleStateLabels(m)
+	for _, pkg := range m.Packages {
+		if strings.HasPrefix(pkg.Path, "fixture/") {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.Var:
+				if isMutexType(obj.Type()) {
+					out = append(out, labels[obj])
+				}
+			case *types.TypeName:
+				named, ok := obj.Type().(*types.Named)
+				if !ok || obj.IsAlias() {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if isMutexType(st.Field(i).Type()) {
+						out = append(out, labels[st.Field(i)])
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// collectAtomicTargets lists atomic cells for the readiness report.
+func collectAtomicTargets(m *Module) []string {
+	labels := moduleStateLabels(m)
+	cells := collectAtomicCells(m)
+	var out []string
+	for v, t := range cells {
+		label, ok := labels[v]
+		if !ok {
+			continue // local atomics carry no module-level name
+		}
+		if t.elem {
+			label += " (per-element)"
+		}
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -36,6 +36,12 @@ var knownMarkers = map[string]bool{
 	"ignore-allocpair": true, // allocpair: teardown via another path
 	lifecycleMarker:    true, // lifecycle: ownership transfer the analysis cannot see
 	traceReachMarker:   true, // tracereach: catalog entry reserved intentionally
+	"owner=lane":       true, // ownership/rngflow: per-CPU-confined state
+	"owner=epoch":      true, // ownership/rngflow: mutated only at epoch quiescence
+	"owner=init":       true, // ownership/rngflow: immutable after construction
+	"owner=shared":     true, // ownership: shared-mutable, synchronization debt acknowledged
+	lockCheckMarker:    true, // lockcheck: ordering/release/atomic-mix exception justified
+	rngFlowMarker:      true, // rngflow: stream transfer the analysis cannot see
 }
 
 // AuditSuppressions scans every marker comment in pkgs and reports

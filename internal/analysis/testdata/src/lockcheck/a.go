@@ -1,0 +1,162 @@
+// Package fixture carries deliberate lock-discipline violations for
+// the lockcheck analyzer: an AB/BA order inversion, a cycle threaded
+// through interface dispatch, self-deadlocks direct and through a
+// callee, a lock leaked on one path, and plain access to storage used
+// atomically elsewhere — plus the clean shapes (defer unlock,
+// init-phase construction, justified suppression) that must stay
+// silent. The go tool never builds testdata trees.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	muA    sync.Mutex
+	muB    sync.Mutex
+	muC    sync.Mutex
+	muD    sync.Mutex
+	muE    sync.Mutex
+	muSelf sync.Mutex
+)
+
+// LockAB establishes the order muA -> muB.
+func LockAB() {
+	muA.Lock()
+	muB.Lock() // want "lock order cycle: fixture.muB acquired while holding fixture.muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// LockBA inverts it: together with LockAB this is a deadlock-shaped
+// cycle, reported at both witnessing edges.
+func LockBA() {
+	muB.Lock()
+	muA.Lock() // want "lock order cycle: fixture.muA acquired while holding fixture.muB"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// DoubleLock re-acquires a lock it already holds.
+func DoubleLock() {
+	muSelf.Lock()
+	muSelf.Lock() // want "acquiring fixture.muSelf while already holding it: self-deadlock"
+	muSelf.Unlock()
+	muSelf.Unlock()
+}
+
+// Recurse deadlocks through a callee: relock's may-acquire summary
+// carries muSelf back to the held-lock check.
+func Recurse() {
+	muSelf.Lock()
+	relock() // want "calling fixture.relock while holding fixture.muSelf: the callee may acquire fixture.muSelf again"
+	muSelf.Unlock()
+}
+
+func relock() {
+	muSelf.Lock()
+	muSelf.Unlock()
+}
+
+// LeakOnError forgets the unlock on the early return: reported at the
+// acquisition site.
+func LeakOnError(fail bool) {
+	muC.Lock() // want "fixture.muC acquired here is not released on every path out of fixture.LeakOnError"
+	if fail {
+		return
+	}
+	muC.Unlock()
+}
+
+// DeferredOK releases through defer on every path, silent.
+func DeferredOK(fail bool) {
+	muC.Lock()
+	defer muC.Unlock()
+	if fail {
+		return
+	}
+}
+
+// Stage is dispatched through an interface, so the muE -> muD edge
+// below exists only via class-hierarchy resolution of Work.
+type Stage interface {
+	Work()
+}
+
+type stageImpl struct{}
+
+// Work acquires muD; the value flows into RunUnder's dispatch.
+func (stageImpl) Work() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// RunUnder dispatches while holding muE: the interface summary
+// contributes the muE -> muD order edge.
+func RunUnder(s Stage) {
+	muE.Lock()
+	s.Work() // want "lock order cycle: fixture.muD acquired while holding fixture.muE"
+	muE.Unlock()
+}
+
+// UseStage keeps the dispatch reachable with a concrete impl.
+func UseStage() {
+	RunUnder(stageImpl{})
+}
+
+// Inverted takes the same pair directly in the opposite order,
+// closing the cycle.
+func Inverted() {
+	muD.Lock()
+	muE.Lock() // want "lock order cycle: fixture.muE acquired while holding fixture.muD"
+	muE.Unlock()
+	muD.Unlock()
+}
+
+// Acc mirrors the per-CPU accumulator shape: cells committed through
+// sync/atomic element-granular, total through a whole-cell atomic.
+type Acc struct {
+	cells []uint64
+	total uint64
+}
+
+// NewAcc touches the storage plainly during construction: legal, the
+// object is unshared at birth.
+func NewAcc(n int) *Acc {
+	a := &Acc{}
+	a.cells = make([]uint64, n)
+	a.total = 0
+	return a
+}
+
+// Commit is the sanctioned atomic path.
+func (a *Acc) Commit(i int, v uint64) {
+	atomic.AddUint64(&a.cells[i], v)
+	atomic.AddUint64(&a.total, v)
+}
+
+// PeekCells reads an element plainly: races with Commit.
+func (a *Acc) PeekCells(i int) uint64 {
+	return a.cells[i] // want "fixture.Acc.cells element access mixes with sync/atomic use of the same storage elsewhere"
+}
+
+// PeekTotal reads the whole-cell target plainly.
+func (a *Acc) PeekTotal() uint64 {
+	return a.total // want "fixture.Acc.total plain access mixes with sync/atomic use of the same storage elsewhere"
+}
+
+// Reset writes elements plainly outside init; the index-only range
+// header itself reads just the length and stays silent.
+func (a *Acc) Reset() {
+	for i := range a.cells {
+		a.cells[i] = 0 // want "fixture.Acc.cells element access mixes with sync/atomic use of the same storage elsewhere"
+	}
+}
+
+// Snapshot documents a quiescent read: the marker suppresses the
+// mixing diagnostic.
+func (a *Acc) Snapshot(i int) uint64 {
+	//klocs:ignore-lockcheck quiescent read: all committers are parked
+	return a.cells[i]
+}

@@ -1,0 +1,26 @@
+// Package fixture proves the module-analyzer want harness fails
+// loudly for lockcheck: the expectations below are deliberately
+// wrong, and the meta test asserts every mismatch is reported. It is
+// never checked for zero problems the way the other fixtures are.
+package fixture
+
+import "sync"
+
+var mu sync.Mutex
+
+// Leak really leaks the lock on the early return, but the pattern
+// below does not match the diagnostic.
+func Leak(fail bool) {
+	mu.Lock() // want "this pattern matches nothing"
+	if fail {
+		return
+	}
+	mu.Unlock()
+}
+
+// Balanced is clean: the expectation below is a phantom the harness
+// must flag.
+func Balanced() {
+	mu.Lock() // want "phantom lockcheck diagnostic expected here"
+	mu.Unlock()
+}

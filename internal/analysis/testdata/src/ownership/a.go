@@ -1,0 +1,155 @@
+// Package fixture carries deliberate ownership violations for the
+// ownership analyzer: unannotated shared-mutable state, an init
+// annotation contradicted by a runtime writer, an overclaimed lane
+// annotation, and — as silent rows — correctly annotated state plus
+// the inference patterns (init-helper promotion, local-alias write
+// attribution, by-value copy discard) the classifier must get right.
+// The go tool never builds testdata trees.
+package fixture
+
+// totalOps is package-level, unannotated, and bumped by an exported
+// (entry-surface-reachable) function: the canonical diagnostic.
+var totalOps int // want "fixture.totalOps is shared-mutable \(unannotated\): written outside the init phase by fixture.Record"
+
+// Record is the reachable writer of totalOps.
+func Record() { totalOps++ }
+
+// seedDefault is assigned only in its initializer: inferred init,
+// silent.
+var seedDefault = uint64(42)
+
+// epochGen is annotated and mutated by a reachable writer: the
+// annotation is the classification, silent.
+var epochGen int //klocs:owner=epoch bumped only at barrier quiescence
+
+// AdvanceEpoch mutates epochGen at the barrier.
+func AdvanceEpoch() int { epochGen++; return epochGen + int(seedDefault) }
+
+// Counter's field is unannotated with a reachable method writer; the
+// diagnostic names the writer and its reachability.
+type Counter struct {
+	n int // want "fixture.Counter.n is shared-mutable \(unannotated\).*the writer is reachable from the engine entry surface"
+}
+
+// Bump is exported, hence on the entry surface.
+func (c *Counter) Bump() { c.n++ }
+
+// Shadow's writer is unexported and never called: still a post-init
+// writer, but the reachability suffix must be absent.
+type Shadow struct {
+	hits int // want "fixture.Shadow.hits is shared-mutable \(unannotated\): written outside the init phase by fixture.touchShadow — classify"
+}
+
+func touchShadow(s *Shadow) { s.hits++ }
+
+// Cursor takes a struct-level default: every field is lane-confined.
+type Cursor struct { //klocs:owner=lane the engine loop's per-lane state
+	now int
+	seq int
+}
+
+// Step mutates both lane fields; the struct-level annotation covers
+// them, silent.
+func (c *Cursor) Step() { c.now++; c.seq++ }
+
+// Pool mixes a struct-level default with a per-field override.
+type Pool struct { //klocs:owner=epoch merged when lanes are quiescent
+	stats int
+	//klocs:owner=init
+	capac int
+}
+
+// NewPool writes capac during construction only: legal for init.
+func NewPool(n int) *Pool {
+	p := &Pool{}
+	p.capac = n
+	return p
+}
+
+// Merge mutates the epoch-owned field, silent.
+func (p *Pool) Merge() { p.stats++ }
+
+// Late claims immutability it does not have: the violation reports at
+// the write site.
+type Late struct {
+	//klocs:owner=init
+	limit int
+}
+
+// Tune writes the init-annotated field at runtime.
+func (l *Late) Tune(v int) {
+	l.limit = v // want "fixture.Late.limit is annotated //klocs:owner=init \(immutable after init\) but fixture.Late.Tune writes it outside the init phase"
+}
+
+// Frozen overclaims mutability: nothing writes id after init, so the
+// lane annotation is rot waiting to happen.
+type Frozen struct {
+	//klocs:owner=lane
+	id int // want "fixture.Frozen.id is annotated //klocs:owner=lane but has no detectable post-init writer"
+}
+
+// Table is built through an unexported helper called only from the
+// constructor: the helper inherits init phase, so rows is inferred
+// init, silent.
+type Table struct {
+	rows []int
+}
+
+// NewTable constructs through fill.
+func NewTable(n int) *Table {
+	t := &Table{}
+	t.fill(n)
+	return t
+}
+
+func (t *Table) fill(n int) { t.rows = make([]int, n) }
+
+// Grid mutates its backing store through a local alias; the write
+// still attributes to the field.
+type Grid struct {
+	cells []int // want "fixture.Grid.cells is shared-mutable \(unannotated\): written outside the init phase by fixture.Grid.Set"
+}
+
+// Set writes through the alias idiom.
+func (g *Grid) Set(i, v int) {
+	row := g.cells
+	row[i] = v
+}
+
+// Config is passed by value: a write to the copy is not a state
+// write, silent.
+type Config struct {
+	Mode int
+}
+
+// WithMode mutates only its local copy.
+func WithMode(c Config, m int) Config {
+	c.Mode = m
+	return c
+}
+
+// Index mutates a map field through the delete builtin.
+type Index struct {
+	byID map[int]string // want "fixture.Index.byID is shared-mutable \(unannotated\)"
+}
+
+// Drop is the builtin-mediated writer.
+func (x *Index) Drop(id int) { delete(x.byID, id) }
+
+// Gauge has a pointer-receiver mutator; calling it through a struct
+// field is a write to that field.
+type Gauge struct {
+	v int64 //klocs:owner=epoch merged at flush
+}
+
+// Inc mutates the gauge.
+func (g *Gauge) Inc() { g.v++ }
+
+// Stats holds a gauge by value; Touch's method call writes Hits.
+type Stats struct {
+	//klocs:owner=epoch
+	Hits Gauge
+}
+
+// Touch calls the pointer-receiver method on the addressable field.
+func (s *Stats) Touch() { s.Hits.Inc() }

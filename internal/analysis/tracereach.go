@@ -65,18 +65,7 @@ func runTraceReach(pass *ModulePass) error {
 		return nil
 	}
 
-	// Entry surface: exported declarations, main, init. Package-level
-	// initializer references are rooted by Reachable itself.
-	var roots []*FuncNode
-	for _, n := range g.Nodes {
-		if n.Obj == nil {
-			continue
-		}
-		if n.Obj.Exported() || n.Obj.Name() == "main" || n.Obj.Name() == "init" {
-			roots = append(roots, n)
-		}
-	}
-	reached := g.Reachable(roots)
+	reached := g.Reachable(entrySurface(g))
 
 	// Names emitted from reachable code.
 	emitted := make(map[string]bool)

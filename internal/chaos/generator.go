@@ -10,7 +10,10 @@ import (
 // stream, so schedule i is the same no matter how schedules 0..i-1
 // were executed.
 type generator struct {
-	cfg      Config
+	cfg Config
+	// root is drawn only by the campaign coordinator's lane; every
+	// schedule gets its own forked child stream.
+	//klocs:owner=lane
 	root     *sim.RNG
 	points   []fault.Point
 	errnos   []fault.Errno

@@ -18,10 +18,13 @@ import (
 // when the request's KLOC context group is cold on this machine or
 // when the machine's fast tier is degraded.
 type machine struct {
-	id  int
-	c   *Cluster
-	k   *kernel.Kernel
-	wl  workload.Workload
+	id int
+	c  *Cluster
+	k  *kernel.Kernel
+	wl workload.Workload
+	// rng is this machine's private stream (forked per machine by the
+	// cluster); only the lane driving the machine draws from it.
+	//klocs:owner=lane
 	rng *sim.RNG
 
 	// plane drives this machine's crash/degrade schedule (nil-safe).
@@ -68,6 +71,9 @@ func newMachine(cfg Config, eng *sim.Engine, id int, rng *sim.RNG) (*machine, er
 		return nil, wrapErr("workload", err)
 	}
 	k := kernel.New(eng, mem, pol)
+	// Fork the workload's stream before the machine takes ownership of
+	// rng: after the handoff the machine must be the only reader.
+	wlRNG := rng.Fork()
 	m := &machine{
 		id:      id,
 		k:       k,
@@ -78,7 +84,7 @@ func newMachine(cfg Config, eng *sim.Engine, id int, rng *sim.RNG) (*machine, er
 		workers: cfg.Workers,
 		hotCap:  cfg.HotCap,
 	}
-	if err := wl.Setup(k, rng.Fork()); err != nil {
+	if err := wl.Setup(k, wlRNG); err != nil {
 		return nil, wrapErr("setup", err)
 	}
 	return m, nil

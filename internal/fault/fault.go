@@ -274,8 +274,11 @@ func (r Record) String() string {
 // normalized, time-ordered merge of the rule's Times and Timed entries
 // with every errno resolved.
 type pointState struct {
-	rule      Rule
-	sched     []TimedInjection
+	rule  Rule
+	sched []TimedInjection
+	// rng drives this point's probabilistic draws; consulted only by
+	// the lane running the plane's kernel instance.
+	//klocs:owner=lane
 	rng       *sim.RNG
 	nextSched int
 	consults  uint64

@@ -27,7 +27,10 @@ import (
 	"kloc/internal/sim"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. Each counter belongs
+// to the kernel instance (and so the lane) that meters through it.
+//
+//klocs:owner=lane
 type Counter struct{ n uint64 }
 
 // Inc adds one.
@@ -43,13 +46,21 @@ func (c *Counter) Value() uint64 { return c.n }
 // statistics. It keeps all samples when small and switches to a
 // log-scale histogram beyond a threshold so lifetime tracking of
 // millions of kernel objects stays O(1) per sample.
+// Observe mutates every field from the metering lane, so the whole
+// struct is lane-confined.
 type Distribution struct {
-	count   uint64
-	sum     float64
-	min     float64
-	max     float64
+	//klocs:owner=lane
+	count uint64
+	//klocs:owner=lane
+	sum float64
+	//klocs:owner=lane
+	min float64
+	//klocs:owner=lane
+	max float64
+	//klocs:owner=lane
 	samples []float64 // exact, until histogram mode
-	buckets []uint64  // log2 buckets once exact storage is abandoned
+	//klocs:owner=lane
+	buckets []uint64 // log2 buckets once exact storage is abandoned
 }
 
 const exactLimit = 1 << 14
@@ -139,7 +150,9 @@ func (d *Distribution) Quantile(q float64) float64 {
 // mean lifetime of application pages vs slab objects vs page cache
 // pages on a log axis.
 type LifetimeTracker struct {
+	//klocs:owner=lane
 	born map[uint64]sim.Time
+	//klocs:owner=lane
 	dist map[string]*Distribution
 }
 
@@ -199,6 +212,7 @@ func (lt *LifetimeTracker) MeanLifetime(class string) sim.Duration {
 // Set is a bag of named counters used for ad-hoc accounting (syscall
 // counts, rbtree accesses, prefetch hits...).
 type Set struct {
+	//klocs:owner=lane
 	counters map[string]*Counter
 }
 

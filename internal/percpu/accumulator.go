@@ -1,5 +1,7 @@
 package percpu
 
+import "sync/atomic"
+
 // Accumulator is a set of per-CPU counter lanes over a shared dense
 // store — the VSA-style batched accounting engine behind
 // metrics.ModeBatched (DESIGN.md §13). Each lane accumulates signed
@@ -14,7 +16,10 @@ package percpu
 //
 //   - Add is owner-only: on a parallel engine, only the goroutine
 //     driving cpu's lane may Add to it. The single-goroutine simulator
-//     trivially satisfies this.
+//     trivially satisfies this. Lane storage is therefore plain; the
+//     shared store and the Adds/Commits counters go through sync/atomic
+//     so concurrent commits from distinct lanes are race-free (the
+//     TestAccumulatorConcurrentLanes -race stress test pins this).
 //   - Flush, FlushCell, and Value are coordinator-only: they walk every
 //     lane, so they must run at a quiescent point (snapshot and stats
 //     boundaries in the harness). Value flushes its cell first and is
@@ -29,12 +34,16 @@ package percpu
 // ratio as the shared-store write reduction.
 type Accumulator struct {
 	threshold int64
-	lanes     [][]int64 // [cpu][cell] pending net delta
-	store     []uint64  // committed values
+	//klocs:owner=lane
+	lanes [][]int64 // [cpu][cell] pending net delta; owner-only plain access
+	//klocs:owner=shared
+	store []uint64 // committed values; sync/atomic access after init
 
 	// Adds counts every Add call; Commits counts shared-store writes
 	// (threshold-triggered plus non-empty flushes). Both are exact and
-	// deterministic — BENCH_perf.json reports Commits/Adds.
+	// deterministic — BENCH_perf.json reports Commits/Adds. Mutated
+	// through sync/atomic (Add runs on every lane); read via Counters.
+	//klocs:owner=shared
 	Adds, Commits uint64
 }
 
@@ -70,13 +79,13 @@ func (a *Accumulator) Cells() int { return len(a.store) }
 // cell's net pending to the shared store once its magnitude reaches
 // the threshold. Owner-only (see the type contract).
 func (a *Accumulator) Add(cpu, cell int, delta int64) {
-	a.Adds++
+	atomic.AddUint64(&a.Adds, 1)
 	lane := a.lanes[cpu]
 	lane[cell] += delta
 	if p := lane[cell]; p >= a.threshold || -p >= a.threshold {
-		a.store[cell] += uint64(p)
+		atomic.AddUint64(&a.store[cell], uint64(p))
 		lane[cell] = 0
-		a.Commits++
+		atomic.AddUint64(&a.Commits, 1)
 	}
 }
 
@@ -88,9 +97,9 @@ func (a *Accumulator) Inc(cpu, cell int) { a.Add(cpu, cell, 1) }
 func (a *Accumulator) FlushCell(cell int) {
 	for _, lane := range a.lanes {
 		if p := lane[cell]; p != 0 {
-			a.store[cell] += uint64(p)
+			atomic.AddUint64(&a.store[cell], uint64(p))
 			lane[cell] = 0
-			a.Commits++
+			atomic.AddUint64(&a.Commits, 1)
 		}
 	}
 }
@@ -102,9 +111,9 @@ func (a *Accumulator) Flush() {
 	for _, lane := range a.lanes {
 		for cell, p := range lane {
 			if p != 0 {
-				a.store[cell] += uint64(p)
+				atomic.AddUint64(&a.store[cell], uint64(p))
 				lane[cell] = 0
-				a.Commits++
+				atomic.AddUint64(&a.Commits, 1)
 			}
 		}
 	}
@@ -117,5 +126,11 @@ func (a *Accumulator) Flush() {
 // module batches).
 func (a *Accumulator) Value(cell int) uint64 {
 	a.FlushCell(cell)
-	return a.store[cell]
+	return atomic.LoadUint64(&a.store[cell])
+}
+
+// Counters returns the Adds and Commits counts through sync/atomic, so
+// callers never mix plain reads with the atomic increments in Add.
+func (a *Accumulator) Counters() (adds, commits uint64) {
+	return atomic.LoadUint64(&a.Adds), atomic.LoadUint64(&a.Commits)
 }

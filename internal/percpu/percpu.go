@@ -17,10 +17,12 @@
 package percpu
 
 // Entry is one cached item with its age. Age is reset on every touch
-// and incremented by LRU scans that decline to evict (§4.3).
+// and incremented by LRU scans that decline to evict (§4.3). Entries
+// live in one CPU's list, touched only by that CPU's lane.
 type Entry[T comparable] struct {
 	Item T
-	Age  int
+	//klocs:owner=lane
+	Age int
 }
 
 // Lists is a set of per-CPU bounded recency lists.
@@ -31,7 +33,10 @@ type Lists[T comparable] struct {
 	where map[T]map[int]struct{}
 
 	// Hits/Misses count Touch operations that found/missed the item —
-	// the ablation metric for the fast path.
+	// the ablation metric for the fast path. Touch runs on every lane,
+	// so these aggregate cross-lane: synchronization debt the sharded
+	// refactor must pay (per-lane split or accumulator cells).
+	//klocs:owner=shared
 	Hits, Misses uint64
 }
 

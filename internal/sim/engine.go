@@ -11,8 +11,13 @@ import (
 type Event struct {
 	at  Time
 	seq uint64
-	fn  func(*Engine)
+	// fn and index mutate after scheduling (Cancel nils fn, the heap
+	// maintains index), always from the goroutine driving the queue
+	// that holds the event — per-lane state under the sharded plan.
+	//klocs:owner=lane
+	fn func(*Engine)
 	// index in the heap, or -1 once popped/cancelled.
+	//klocs:owner=lane
 	index int
 }
 
@@ -51,11 +56,19 @@ func (q *eventQueue) Pop() any {
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; the entire simulation runs on one goroutine, which is
 // what guarantees reproducibility.
+// Every Engine field is the event loop's own cursor state: under the
+// sharded plan (ROADMAP item 2) each lane runs its own Engine, so the
+// whole struct is lane-confined.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	fired  uint64
+	//klocs:owner=lane
+	now Time
+	//klocs:owner=lane
+	seq uint64
+	//klocs:owner=lane
+	queue eventQueue
+	//klocs:owner=lane
+	fired uint64
+	//klocs:owner=lane
 	halted bool
 }
 

@@ -11,6 +11,10 @@ func expf(x float64) float64 { return math.Exp(x) }
 // releases: the paper's figures are regenerated as golden-shaped
 // benchmarks and must not drift when the toolchain upgrades.
 type RNG struct {
+	// Every draw advances the state, so a stream is single-owner by
+	// construction: confine each RNG to one lane and Fork children for
+	// anything that must draw independently (rngflow enforces this).
+	//klocs:owner=lane
 	s [4]uint64
 }
 
@@ -98,6 +102,9 @@ func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
 // paper (RocksDB, Redis, Cassandra via YCSB) are driven by skewed key
 // popularity, which this models.
 type Zipf struct {
+	// The stream pointer is fixed at construction; draws advance the
+	// RNG's own lane-confined state, not this field.
+	//klocs:owner=init
 	r                *RNG
 	n                float64
 	s                float64

@@ -165,9 +165,12 @@ const (
 	maxStatsContexts = 16
 )
 
-// ctxStat is one context's incremental accounting.
+// ctxStat is one context's incremental accounting. Mutated on the
+// emit path by the lane driving the tracer's kernel instance.
 type ctxStat struct {
-	total   uint64
+	//klocs:owner=lane
+	total uint64
+	//klocs:owner=lane
 	windows []uint64
 }
 
@@ -176,26 +179,37 @@ type ctxStat struct {
 // does its count live".
 type nameState struct {
 	enabled bool
-	count   uint64
+	//klocs:owner=lane
+	count uint64
 }
 
 // Tracer is an armed tracing plane. A nil *Tracer is valid and records
 // nothing, so subsystems hold a possibly-nil Tracer and call Emit
 // unconditionally — the same discipline as fault.Plane.
+// A Tracer is attached to one kernel instance and mutates on every
+// Emit, so its mutable state is confined to the lane driving that
+// instance's timeline partition.
 type Tracer struct {
 	cfg Config
 	// enabled/byName are the legacy per-name stores (two lookups per
 	// event); names merges them under ModeIndexed (one lookup, usually
 	// zero thanks to the lastName MRU register).
+	//klocs:owner=lane
 	enabled map[Name]bool
-	byName  map[Name]uint64
-	names   map[Name]*nameState
+	//klocs:owner=lane
+	byName map[Name]uint64
+	//klocs:owner=lane
+	names map[Name]*nameState
 
+	//klocs:owner=lane
 	ring []Event
 	// next is the ring write index; filled counts live entries.
+	//klocs:owner=lane
 	next, filled int
+	//klocs:owner=lane
 	seq, dropped uint64
 
+	//klocs:owner=lane
 	byCtx map[uint64]*ctxStat
 
 	// batched selects run-length context/window commits (ModeBatched):
@@ -203,13 +217,20 @@ type Tracer struct {
 	// window accumulate in the registers below and commit as one net
 	// delta when the run breaks (or on Stats). summaryCommits counts
 	// those commits — the deterministic write-reduction meter.
-	batched        bool
-	lastName       Name
-	lastState      *nameState
-	pCtx           uint64
-	pStat          *ctxStat
-	pWin           int
-	pPending       uint64
+	batched bool
+	//klocs:owner=lane
+	lastName Name
+	//klocs:owner=lane
+	lastState *nameState
+	//klocs:owner=lane
+	pCtx uint64
+	//klocs:owner=lane
+	pStat *ctxStat
+	//klocs:owner=lane
+	pWin int
+	//klocs:owner=lane
+	pPending uint64
+	//klocs:owner=lane
 	summaryCommits uint64
 }
 
