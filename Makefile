@@ -12,11 +12,14 @@ vet:
 # lint runs the repo's own invariant-enforcing analyzers (kloclint):
 # determinism hygiene, errno discipline, trace-name catalog membership,
 # alloc/free pairing, and the parallel-readiness suite (ownership,
-# lockcheck, rngflow — DESIGN.md §10, §14). It also fails when the
-# checked-in PARALLEL_READINESS.md drifts from the code: the report is
-# regenerated twice (a determinism check in itself) and compared.
+# lockcheck, rngflow, phasecheck — DESIGN.md §10, §14, §15). It also
+# fails when the checked-in PARALLEL_READINESS.md drifts from the code
+# (the report is regenerated twice — a determinism check in itself —
+# and compared) and when the shared-state count moves off the
+# .ownership-ratchet baseline in either direction.
 lint:
 	$(GO) run ./cmd/kloclint
+	$(GO) run ./cmd/kloclint -ownership-ratchet .ownership-ratchet
 	$(GO) run ./cmd/kloclint -ownership-report .readiness.run1.tmp
 	$(GO) run ./cmd/kloclint -ownership-report .readiness.run2.tmp
 	@cmp .readiness.run1.tmp .readiness.run2.tmp || \

@@ -194,6 +194,9 @@ func runPerfBench(opts kloc.Options, quick, wall bool, out string) error {
 		return err
 	}
 	fmt.Println(table)
+	for _, line := range rep.LaneLines() {
+		fmt.Println(line)
+	}
 	data, err := rep.JSON()
 	if err != nil {
 		return err

@@ -65,6 +65,13 @@ const (
 	ownerShared
 	// ownerInferredInit is unannotated state with no post-init writer.
 	ownerInferredInit
+	// ownerAtomic is shared state accessed lock-free through
+	// sync/atomic: cross-lane by design, already synchronized. The
+	// annotation is honest only if the accesses really go through
+	// sync/atomic — runOwnership cross-checks against the lockcheck
+	// atomic-cell inventory, and the lockcheck atomic-mixing rule
+	// rejects plain access.
+	ownerAtomic
 )
 
 func (c ownerClass) String() string {
@@ -79,6 +86,8 @@ func (c ownerClass) String() string {
 		return "init (inferred: no post-init writer)"
 	case ownerShared:
 		return "shared (needs synchronization)"
+	case ownerAtomic:
+		return "atomic (lock-free: sync/atomic)"
 	}
 	return "UNCLASSIFIED (shared-mutable, unannotated)"
 }
@@ -92,6 +101,7 @@ var ownerMarkers = [...]struct {
 	{"owner=epoch", ownerEpoch},
 	{"owner=init", ownerInit},
 	{"owner=shared", ownerShared},
+	{"owner=atomic", ownerAtomic},
 }
 
 // ownershipScopePaths are the engine packages whose declared state the
@@ -137,8 +147,17 @@ type stateEntry struct {
 
 func runOwnership(pass *ModulePass) error {
 	entries := ownershipInventory(pass.Module, pass.Marked)
+	atomicCells := collectAtomicCells(pass.Module)
 	for i := range entries {
 		e := &entries[i]
+		if e.class == ownerAtomic {
+			// Honesty check: the annotation claims sync/atomic access,
+			// so the lockcheck atomic-cell inventory must know the var.
+			if _, ok := atomicCells[e.v]; !ok {
+				pass.Reportf(e.pos, "%s is annotated //klocs:owner=atomic but no sync/atomic access to it exists — route its accesses through sync/atomic or re-classify it", e.label)
+			}
+			continue
+		}
 		switch {
 		case e.class == ownerUnclassified:
 			w := e.writers[0]
@@ -679,6 +698,7 @@ func OwnershipReport(m *Module) []byte {
 	b.WriteString("| `lane` | per-CPU-confined: only the owning lane's goroutine touches it | move into the lane shard |\n")
 	b.WriteString("| `epoch` | mutated only at epoch/barrier quiescence points | guard with the epoch barrier |\n")
 	b.WriteString("| `init` | immutable after construction (annotated or inferred) | share freely |\n")
+	b.WriteString("| `atomic` | cross-lane by design, accessed lock-free via `sync/atomic` | already synchronized |\n")
 	b.WriteString("| `shared` | concurrently reachable and mutable | synchronize explicitly |\n\n")
 
 	counts := map[ownerClass]int{}
@@ -693,7 +713,7 @@ func OwnershipReport(m *Module) []byte {
 		byPkg[e.pkgPath] = append(byPkg[e.pkgPath], e)
 	}
 	b.WriteString("## Summary\n\n| class | entries |\n|---|---:|\n")
-	for _, c := range []ownerClass{ownerLane, ownerEpoch, ownerInit, ownerInferredInit, ownerShared, ownerUnclassified} {
+	for _, c := range []ownerClass{ownerLane, ownerEpoch, ownerInit, ownerInferredInit, ownerAtomic, ownerShared, ownerUnclassified} {
 		if c == ownerUnclassified && counts[c] == 0 {
 			continue
 		}
@@ -768,4 +788,21 @@ func writerCell(ws []writerRef) string {
 		parts = append(parts, "`"+w.label+"`")
 	}
 	return strings.Join(parts, ", ")
+}
+
+// OwnershipSharedCount is the parallel-readiness ratchet metric: the
+// number of inventory entries still classified shared or unclassified
+// — the state the sharded engine has no story for yet. kloclint
+// -ownership-ratchet compares it against the checked-in baseline and
+// fails when it grows; lowering the baseline is the only allowed
+// direction.
+func OwnershipSharedCount(m *Module) int {
+	pass := &ModulePass{Analyzer: Ownership, Module: m}
+	n := 0
+	for _, e := range ownershipInventory(m, pass.Marked) {
+		if e.class == ownerShared || e.class == ownerUnclassified {
+			n++
+		}
+	}
+	return n
 }

@@ -10,9 +10,10 @@ import (
 
 // The parallel-readiness fixtures: each carries deliberate
 // violations plus the clean shapes the analyzer must not flag.
-func TestOwnershipFixture(t *testing.T) { checkModuleFixture(t, Ownership, "ownership") }
-func TestLockCheckFixture(t *testing.T) { checkModuleFixture(t, LockCheck, "lockcheck") }
-func TestRNGFlowFixture(t *testing.T)   { checkModuleFixture(t, RNGFlow, "rngflow") }
+func TestOwnershipFixture(t *testing.T)  { checkModuleFixture(t, Ownership, "ownership") }
+func TestLockCheckFixture(t *testing.T)  { checkModuleFixture(t, LockCheck, "lockcheck") }
+func TestRNGFlowFixture(t *testing.T)    { checkModuleFixture(t, RNGFlow, "rngflow") }
+func TestPhaseCheckFixture(t *testing.T) { checkModuleFixture(t, PhaseCheck, "phasecheck") }
 
 // metaModuleFixture asserts the want harness fails in both directions
 // for a module analyzer (the wantmeta pattern): the fixture carries
@@ -40,9 +41,10 @@ func metaModuleFixture(t *testing.T, a *ModuleAnalyzer, name string) {
 	}
 }
 
-func TestOwnershipWantHarness(t *testing.T) { metaModuleFixture(t, Ownership, "ownershipmeta") }
-func TestLockCheckWantHarness(t *testing.T) { metaModuleFixture(t, LockCheck, "lockcheckmeta") }
-func TestRNGFlowWantHarness(t *testing.T)   { metaModuleFixture(t, RNGFlow, "rngflowmeta") }
+func TestOwnershipWantHarness(t *testing.T)  { metaModuleFixture(t, Ownership, "ownershipmeta") }
+func TestLockCheckWantHarness(t *testing.T)  { metaModuleFixture(t, LockCheck, "lockcheckmeta") }
+func TestRNGFlowWantHarness(t *testing.T)    { metaModuleFixture(t, RNGFlow, "rngflowmeta") }
+func TestPhaseCheckWantHarness(t *testing.T) { metaModuleFixture(t, PhaseCheck, "phasecheckmeta") }
 
 // TestOwnershipReportStable pins the determinism contract: two
 // independently built Module views of the same source must render

@@ -1,0 +1,652 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PhaseCheck is the execution-phase discipline checker gating the
+// sharded engine (DESIGN.md §15): where the ownership analyzer says
+// who may touch each piece of state, phasecheck says *when* code runs
+// — and rejects the combinations that would race on a parallel
+// engine. Every function gets a phase mask, seeded structurally and
+// propagated caller-to-callee over the whole-module call graph:
+//
+//   - lane:    code running on one shard's worker during an epoch.
+//     Seeded by shape — any function, method, or literal with
+//     signature func(*sim.Engine) is an event callback the engine
+//     fires on its lane — and by a //klocs:phase=lane pin.
+//   - barrier: coordinator code running between epochs while every
+//     lane is quiescent. Seeded by registration — arguments to
+//     (*sim.Lanes).AtBarrier — and by a //klocs:phase=barrier pin.
+//   - init:    single-goroutine construction (the ownership
+//     analyzer's init-phase closure: New*/new*/init and their
+//     private helpers), or a //klocs:phase=init pin.
+//
+// A callee inherits every caller's phase, and so does a function
+// whose value a phased function takes (a stored hook runs in its
+// taker's phase); a declared //klocs:phase= pin stops inheritance at
+// that function — the pin is an assertion, and the rules below hold
+// the pinned function to it. Because phase inheritance and
+// reachability are the same fixpoint, everything reachable from a
+// lane root carries the lane bit by construction: there is no
+// "unknown phase" escape hatch.
+//
+// The rules (init-phase functions are exempt from the write rules —
+// a freshly constructed object is unshared at birth):
+//
+//  1. owner=epoch state must not be touched from lane-phase code:
+//     epoch state changes only at barrier quiescence.
+//  2. owner=lane state must not be written by a function reachable
+//     from both lane and barrier phase without a pin: the write is
+//     phase-ambiguous, so split the helper or pin it.
+//  3. a declared phase=barrier function must not be called (or have
+//     its value taken) from lane-phase code: barriers require every
+//     lane parked, so a lane-initiated barrier is a deadlock or a
+//     race by construction.
+//  4. a lane-owned pointer (pointer/slice/map-typed owner=lane state)
+//     must not be published from lane code to epoch or shared state,
+//     package vars, channels, or callees that retain it: cross-lane
+//     aliasing breaks lane confinement. Handoff belongs at a barrier.
+//
+// The analysis is syntactic like the ownership write inference and
+// shares its machinery (state inventory, alias-aware lvalue
+// resolution, init closure); publication through untracked raw
+// pointers or returns is knowingly invisible. //klocs:ignore-phasecheck
+// suppresses one audited diagnostic.
+var PhaseCheck = &ModuleAnalyzer{
+	Name: "phasecheck",
+	Doc:  "enforce lane/barrier/init phase discipline over the ownership classes",
+	Run:  runPhaseCheck,
+}
+
+// phaseCheckMarker suppresses one phasecheck diagnostic, audited.
+const phaseCheckMarker = "ignore-phasecheck"
+
+// phaseMask is a set of execution phases a function may run in.
+type phaseMask uint8
+
+const (
+	phaseLane phaseMask = 1 << iota
+	phaseBarrier
+	phaseInit
+)
+
+// phaseMarkers maps pin markers to masks, in lookup priority order.
+var phaseMarkers = [...]struct {
+	name string
+	mask phaseMask
+}{
+	{"phase=lane", phaseLane},
+	{"phase=barrier", phaseBarrier},
+	{"phase=init", phaseInit},
+}
+
+func runPhaseCheck(pass *ModulePass) error {
+	m := pass.Module
+	g := m.Graph
+
+	// Declared pins: the marker covers the func/method/literal line.
+	declared := make(map[*FuncNode]phaseMask)
+	for _, n := range g.Nodes {
+		for _, pm := range phaseMarkers {
+			if pass.Marked(pm.name, n.Pos()) {
+				declared[n] = pm.mask
+				break
+			}
+		}
+	}
+
+	phases := make(map[*FuncNode]phaseMask, len(declared))
+	var work []*FuncNode
+	seed := func(n *FuncNode, mask phaseMask) {
+		if n == nil || declared[n] != 0 {
+			return
+		}
+		if phases[n]&mask == mask {
+			return
+		}
+		phases[n] |= mask
+		work = append(work, n)
+	}
+
+	// Structural roots: engine event callbacks are lane, AtBarrier
+	// registrations are barrier, the ownership init closure is init.
+	for _, n := range g.Nodes {
+		if isLaneCallback(n) {
+			seed(n, phaseLane)
+		}
+		for _, site := range n.Calls {
+			if !isAtBarrierCall(n.Pkg.Info, site) {
+				continue
+			}
+			for _, arg := range site.Call.Args {
+				seed(funcArgNode(g, n.Pkg.Info, arg), phaseBarrier)
+			}
+		}
+	}
+	initFns := initPhaseNodes(g)
+	for _, n := range g.Nodes {
+		if initFns[n] {
+			seed(n, phaseInit)
+		}
+	}
+	for _, n := range g.Nodes {
+		if mask := declared[n]; mask != 0 {
+			phases[n] = mask
+			work = append(work, n)
+		}
+	}
+
+	// Propagate to a fixpoint: callees and taken values inherit the
+	// caller's phases, stopping at declared pins.
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		mask := phases[n]
+		if mask == 0 {
+			continue
+		}
+		for _, site := range n.Calls {
+			for _, c := range site.Callees {
+				seed(c, mask)
+			}
+		}
+		for _, r := range n.Refs {
+			seed(r, mask)
+		}
+	}
+
+	inv := ownershipInventory(m, pass.Marked)
+	classOf := make(map[*types.Var]ownerClass, len(inv))
+	labelOf := make(map[*types.Var]string, len(inv))
+	for i := range inv {
+		classOf[inv[i].v] = inv[i].class
+		labelOf[inv[i].v] = inv[i].label
+	}
+
+	// Rules 1 and 2: write-site phase checks. One report per write
+	// position; epoch violations outrank ambiguity when both apply.
+	writes := collectStateWrites(m)
+	var written []*types.Var
+	for v := range writes {
+		if classOf[v] == ownerLane || classOf[v] == ownerEpoch {
+			written = append(written, v)
+		}
+	}
+	sort.Slice(written, func(i, j int) bool { return written[i].Pos() < written[j].Pos() })
+	reported := make(map[token.Pos]bool)
+	for _, v := range written {
+		class := classOf[v]
+		ws := append([]stateWrite(nil), writes[v]...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i].pos < ws[j].pos })
+		for _, w := range ws {
+			if w.fn == nil || initFns[w.fn] || reported[w.pos] {
+				continue
+			}
+			mask := phases[w.fn]
+			switch {
+			case class == ownerEpoch && mask&phaseLane != 0:
+				reported[w.pos] = true
+				if !pass.Marked(phaseCheckMarker, w.pos) {
+					pass.Reportf(w.pos, "%s (owner=epoch) is touched by %s, which runs in lane phase: epoch state may change only at barrier quiescence", labelOf[v], w.fn)
+				}
+			case class == ownerLane && mask&phaseLane != 0 && mask&phaseBarrier != 0 && declared[w.fn] == 0:
+				reported[w.pos] = true
+				if !pass.Marked(phaseCheckMarker, w.pos) {
+					pass.Reportf(w.pos, "%s (owner=lane) is written by %s, which is reachable from both lane and barrier phase: the write is phase-ambiguous — split the helper or pin it with //klocs:phase=<lane|barrier>", labelOf[v], w.fn)
+				}
+			}
+		}
+	}
+
+	// Rule 3: declared barrier functions are unreachable from lanes.
+	for _, n := range g.Nodes {
+		if phases[n]&phaseLane == 0 || initFns[n] {
+			continue
+		}
+		for _, site := range n.Calls {
+			for _, c := range site.Callees {
+				if declared[c]&phaseBarrier == 0 {
+					continue
+				}
+				if !pass.Marked(phaseCheckMarker, site.Call.Pos()) {
+					pass.Reportf(site.Call.Pos(), "%s (declared //klocs:phase=barrier) is called from lane-phase code (%s): barriers need every lane parked — post the work to the coordinator instead", c, n)
+				}
+			}
+		}
+		for _, r := range n.Refs {
+			if declared[r]&phaseBarrier == 0 {
+				continue
+			}
+			if !pass.Marked(phaseCheckMarker, n.Pos()) {
+				pass.Reportf(n.Pos(), "lane-phase %s takes the value of %s (declared //klocs:phase=barrier): a stored barrier hook could fire while lanes run", n, r)
+			}
+		}
+	}
+
+	// Rule 4: lane-owned pointers stay on their lane.
+	pubs := FixpointSummaries(g, func(n *FuncNode, get func(*FuncNode) (pubSummary, bool)) pubSummary {
+		return computePubSummary(n, classOf, get)
+	}, func(old, new pubSummary) bool { return !old.eq(new) })
+	for _, n := range g.Nodes {
+		if phases[n]&phaseLane == 0 || initFns[n] {
+			continue
+		}
+		checkLanePublication(pass, n, classOf, labelOf, pubs)
+	}
+	return nil
+}
+
+// isLaneCallback reports whether n has the engine event-callback
+// shape func(*sim.Engine): the engine fires these on its lane, so the
+// shape itself is the phase declaration.
+func isLaneCallback(n *FuncNode) bool {
+	var sig *types.Signature
+	if n.Obj != nil {
+		sig, _ = n.Obj.Type().(*types.Signature)
+	} else if n.Lit != nil {
+		if t := n.Pkg.Info.TypeOf(n.Lit); t != nil {
+			sig, _ = t.(*types.Signature)
+		}
+	}
+	if sig == nil || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
+		return false
+	}
+	return isEngineType(sig.Params().At(0).Type())
+}
+
+// isEngineType reports whether t is *sim.Engine. Fixture packages may
+// declare their own Engine stand-in.
+func isEngineType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isSimNamed(p.Elem(), "Engine")
+}
+
+// isSimNamed reports whether t is the named simulator type (or a
+// fixture stand-in of the same name).
+func isSimNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "kloc/internal/sim" || ownershipInScope(obj.Pkg().Path())
+}
+
+// isAtBarrierCall reports whether site is (*sim.Lanes).AtBarrier —
+// the registration that makes its arguments barrier-phase roots.
+func isAtBarrierCall(info *types.Info, site *CallSite) bool {
+	sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AtBarrier" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	return isSimNamed(recv, "Lanes")
+}
+
+// funcArgNode resolves a call argument to the function node it names:
+// a literal, a plain function ident, or a selected method value.
+func funcArgNode(g *CallGraph, info *types.Info, arg ast.Expr) *FuncNode {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return g.NodeOfLit(a)
+	case *ast.Ident:
+		if fn, ok := info.Uses[a].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+			return g.NodeOf(fn)
+		}
+	}
+	return nil
+}
+
+// phasePointerish reports whether values of t alias storage: only
+// these can carry a lane's state across a publication.
+func phasePointerish(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// pubSummary summarizes whether a function publishes its receiver or
+// parameters — stores them into epoch/shared/package-var state, sends
+// them on a channel, wraps them in a composite, or passes them to a
+// callee that does. Joined bottom-up over SCCs like rngSummary.
+type pubSummary struct {
+	recvPub  bool
+	paramPub []bool
+}
+
+func (s pubSummary) eq(o pubSummary) bool {
+	if s.recvPub != o.recvPub || len(s.paramPub) != len(o.paramPub) {
+		return false
+	}
+	for i := range s.paramPub {
+		if s.paramPub[i] != o.paramPub[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// funcParamVars returns n's receiver and parameter variables in
+// declaration order; unnamed entries are nil (nothing to track).
+func funcParamVars(n *FuncNode) (recv *types.Var, params []*types.Var) {
+	info := n.Pkg.Info
+	grab := func(fl *ast.FieldList) []*types.Var {
+		if fl == nil {
+			return nil
+		}
+		var out []*types.Var
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				v, _ := info.Defs[name].(*types.Var)
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	switch {
+	case n.Decl != nil:
+		if rs := grab(n.Decl.Recv); len(rs) > 0 {
+			recv = rs[0]
+		}
+		params = grab(n.Decl.Type.Params)
+	case n.Lit != nil:
+		params = grab(n.Lit.Type.Params)
+	}
+	return recv, params
+}
+
+// computePubSummary decides which of n's pointerish inputs escape into
+// state another lane could reach.
+func computePubSummary(n *FuncNode, classOf map[*types.Var]ownerClass, get func(*FuncNode) (pubSummary, bool)) pubSummary {
+	var sum pubSummary
+	recv, params := funcParamVars(n)
+	sum.paramPub = make([]bool, len(params))
+	body := n.Body()
+	if body == nil {
+		return sum
+	}
+	info := n.Pkg.Info
+	// tracked maps a variable holding (an alias of) an input to the
+	// input's index: -1 for the receiver, else the parameter slot.
+	tracked := make(map[*types.Var]int)
+	if recv != nil && phasePointerish(recv.Type()) {
+		tracked[recv] = -1
+	}
+	for i, p := range params {
+		if p != nil && phasePointerish(p.Type()) {
+			tracked[p] = i
+		}
+	}
+	if len(tracked) == 0 {
+		return sum
+	}
+	mark := func(idx int) {
+		if idx < 0 {
+			sum.recvPub = true
+		} else {
+			sum.paramPub[idx] = true
+		}
+	}
+	trackedIn := func(e ast.Expr) (int, bool) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				if idx, ok := tracked[v]; ok {
+					return idx, true
+				}
+			}
+		}
+		return 0, false
+	}
+	sites := calleeSites(n)
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			// The literal is its own node with its own summary.
+			return false
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				// Aliasing define: the new local inherits tracking.
+				for i := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					if idx, ok := trackedIn(x.Rhs[i]); ok {
+						if id, ok := x.Lhs[i].(*ast.Ident); ok {
+							if v, ok := info.Defs[id].(*types.Var); ok {
+								tracked[v] = idx
+							}
+						}
+					}
+				}
+				return true
+			}
+			for i := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				idx, ok := trackedIn(x.Rhs[i])
+				if !ok {
+					continue
+				}
+				for _, tv := range stateRefs(info, nil, x.Lhs[i], false) {
+					if isPublicationTarget(tv, classOf) {
+						mark(idx)
+						break
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if idx, ok := trackedIn(x.Value); ok {
+				mark(idx)
+			}
+		case *ast.CompositeLit:
+			// Wrapped in a value whose destiny we cannot track.
+			for _, elt := range x.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if idx, ok := trackedIn(e); ok {
+					mark(idx)
+				}
+			}
+		case *ast.CallExpr:
+			site := sites[x]
+			if site == nil {
+				return true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if idx, ok := trackedIn(sel.X); ok && calleesPublish(site, -1, get) {
+						mark(idx)
+					}
+				}
+			}
+			for ai, arg := range x.Args {
+				if idx, ok := trackedIn(arg); ok && calleesPublish(site, ai, get) {
+					mark(idx)
+				}
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// isPublicationTarget reports whether storing into tv makes the value
+// reachable outside the storing lane.
+func isPublicationTarget(tv *types.Var, classOf map[*types.Var]ownerClass) bool {
+	switch classOf[tv] {
+	case ownerEpoch, ownerShared:
+		return true
+	}
+	return isPackageVar(tv)
+}
+
+// calleesPublish reports whether any callee at site publishes the
+// given input (arg index, or -1 for the receiver). A variadic tail
+// collapses onto the callee's last parameter.
+func calleesPublish(site *CallSite, idx int, get func(*FuncNode) (pubSummary, bool)) bool {
+	for _, c := range site.Callees {
+		sum, ok := get(c)
+		if !ok {
+			continue
+		}
+		if idx < 0 {
+			if sum.recvPub {
+				return true
+			}
+			continue
+		}
+		pi := idx
+		if pi >= len(sum.paramPub) {
+			pi = len(sum.paramPub) - 1
+		}
+		if pi >= 0 && sum.paramPub[pi] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeSites indexes n's call sites by their call expression.
+func calleeSites(n *FuncNode) map[*ast.CallExpr]*CallSite {
+	sites := make(map[*ast.CallExpr]*CallSite, len(n.Calls))
+	for _, site := range n.Calls {
+		sites[site.Call] = site
+	}
+	return sites
+}
+
+// checkLanePublication walks one lane-phase body and reports every
+// point where a lane-owned pointer is published (rule 4).
+func checkLanePublication(pass *ModulePass, n *FuncNode, classOf map[*types.Var]ownerClass, labelOf map[*types.Var]string, pubs map[*FuncNode]pubSummary) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	aliases := localStateAliases(info, body)
+	// laneSrc resolves an expression to the lane-owned pointerish
+	// state it reads, through the same alias map the write inference
+	// uses.
+	laneSrc := func(e ast.Expr) *types.Var {
+		if t := info.TypeOf(e); t == nil || !phasePointerish(t) {
+			return nil
+		}
+		for _, v := range stateRefs(info, aliases, e, false) {
+			if classOf[v] == ownerLane && phasePointerish(v.Type()) {
+				return v
+			}
+		}
+		return nil
+	}
+	sites := calleeSites(n)
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		if !pass.Marked(phaseCheckMarker, pos) {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			// Its own node; it inherits lane phase via Refs and is
+			// checked there.
+			return false
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for i := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				src := laneSrc(x.Rhs[i])
+				if src == nil {
+					continue
+				}
+				for _, tv := range stateRefs(info, aliases, x.Lhs[i], false) {
+					if isPublicationTarget(tv, classOf) {
+						report(x.Pos(), "lane-owned pointer %s is published to %s by lane-phase %s: cross-lane aliasing breaks lane confinement — hand it off at a barrier or copy the data", labelOf[src], phaseStateLabel(tv, labelOf), n)
+						break
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if src := laneSrc(x.Value); src != nil {
+				report(x.Pos(), "lane-owned pointer %s is sent on a channel by lane-phase %s: the receiver may run on another lane — hand it off at a barrier or copy the data", labelOf[src], n)
+			}
+		case *ast.CallExpr:
+			site := sites[x]
+			if site == nil {
+				return true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if src := laneSrc(sel.X); src != nil && calleesPublishFinal(site, -1, pubs) {
+						report(x.Pos(), "lane-owned pointer %s is published by this call from lane-phase %s: the method retains its receiver beyond the lane", labelOf[src], n)
+					}
+				}
+			}
+			for ai, arg := range x.Args {
+				if src := laneSrc(arg); src != nil && calleesPublishFinal(site, ai, pubs) {
+					report(x.Pos(), "lane-owned pointer %s is passed to a callee that publishes it, from lane-phase %s: cross-lane aliasing breaks lane confinement", labelOf[src], n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleesPublishFinal is calleesPublish over the completed summary
+// map.
+func calleesPublishFinal(site *CallSite, idx int, pubs map[*FuncNode]pubSummary) bool {
+	return calleesPublish(site, idx, func(n *FuncNode) (pubSummary, bool) {
+		sum, ok := pubs[n]
+		return sum, ok
+	})
+}
+
+// phaseStateLabel names a publication target: inventory label when
+// classified, package-qualified name otherwise.
+func phaseStateLabel(v *types.Var, labelOf map[*types.Var]string) string {
+	if s, ok := labelOf[v]; ok {
+		return s
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

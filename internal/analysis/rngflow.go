@@ -76,9 +76,9 @@ func runRNGFlow(pass *ModulePass) error {
 			}
 		}
 		switch class {
-		case ownerShared:
+		case ownerShared, ownerAtomic:
 			if !pass.Marked(rngFlowMarker, f.pos) {
-				pass.Reportf(f.pos, "%s is annotated //klocs:owner=shared but RNG streams must never be shared: a stream drawn from two lanes breaks seed-determinism — fork per-lane child streams instead", f.label)
+				pass.Reportf(f.pos, "%s is annotated //klocs:%s but RNG streams must never be shared: a stream drawn from two lanes breaks seed-determinism — fork per-lane child streams instead", f.label, ownerMarkerName(class))
 			}
 		case ownerUnclassified:
 			if !pass.Marked(rngFlowMarker, f.pos) {

@@ -1,0 +1,159 @@
+// Package fixture carries deliberate lane/epoch phase-discipline
+// violations for the phasecheck analyzer: epoch state touched from
+// lane-phase event callbacks (directly, through an inherited helper,
+// and through interface dispatch), a barrier function called from a
+// lane and its value taken by a lane, a phase-ambiguous lane-state
+// write, and lane-owned pointers published to shared state, package
+// vars, channels, and retaining callees — plus the sanctioned shapes:
+// barrier hooks writing epoch state, a pinned both-phase helper, a
+// justified suppression, and in-place mutation of a lane buffer by a
+// non-retaining callee. The go tool never builds testdata trees.
+package fixture
+
+import "kloc/internal/sim"
+
+// Shard is one lane's private state plus the coordinator's knob.
+type Shard struct {
+	//klocs:owner=lane
+	ops int
+	//klocs:owner=lane
+	buf []int
+	//klocs:owner=epoch
+	mode int
+}
+
+var shard Shard
+
+// laneTick is an engine event callback — lane phase by shape — and
+// touches the coordinator's epoch state.
+func laneTick(e *sim.Engine) {
+	shard.ops++
+	shard.mode = 1 // want "fixture.Shard.mode \(owner=epoch\) is touched by fixture.laneTick, which runs in lane phase"
+	bumpMode()
+}
+
+// bumpMode inherits lane phase from its caller.
+func bumpMode() {
+	shard.mode++ // want "fixture.Shard.mode \(owner=epoch\) is touched by fixture.bumpMode"
+}
+
+// Merge is the coordinator's barrier work: writing epoch and lane
+// state here is legal, because every lane is parked.
+//
+//klocs:phase=barrier
+func Merge() {
+	shard.mode++
+	shard.ops = 0
+}
+
+// laneCallsBarrier runs the barrier from inside a lane.
+func laneCallsBarrier(e *sim.Engine) {
+	Merge() // want "fixture.Merge \(declared //klocs:phase=barrier\) is called from lane-phase code \(fixture.laneCallsBarrier\)"
+}
+
+// laneStores takes the barrier's value from lane phase: the stored
+// hook could fire mid-epoch.
+func laneStores(e *sim.Engine) { // want "lane-phase fixture.laneStores takes the value of fixture.Merge"
+	hook = Merge
+}
+
+var hook func()
+
+// reset is reachable from both phases without a pin: its lane-state
+// write is phase-ambiguous.
+func reset() {
+	shard.ops = 0 // want "fixture.Shard.ops \(owner=lane\) is written by fixture.reset, which is reachable from both lane and barrier phase"
+}
+
+func laneReset(e *sim.Engine) { reset() }
+
+//klocs:phase=barrier
+func BarrierReset() { reset() }
+
+// record is also called from both phases, but the pin resolves the
+// ambiguity: the coordinator acts for the parked lane. Silent.
+//
+//klocs:phase=lane
+func record() { shard.ops++ }
+
+func laneRecord(e *sim.Engine) { record() }
+
+//klocs:phase=barrier
+func BarrierRecord() { record() }
+
+// ArmBarrier registers a hook literal: barrier phase by registration,
+// so its epoch and lane writes are both legal. Silent.
+func ArmBarrier(l *sim.Lanes) {
+	l.AtBarrier(func(info sim.BarrierInfo) {
+		shard.mode++
+		shard.ops = 0
+	})
+}
+
+// mergeHook is barrier phase through the named registration below.
+func mergeHook(info sim.BarrierInfo) {
+	shard.mode++
+}
+
+// ArmNamed registers the named hook. Silent.
+func ArmNamed(l *sim.Lanes) { l.AtBarrier(mergeHook) }
+
+// stepper dispatches lane work through an interface; phase inherits
+// across the dispatch into every implementation.
+type stepper interface{ step() }
+
+type fastStepper struct{}
+
+func (fastStepper) step() {
+	shard.mode = 3 // want "fixture.Shard.mode \(owner=epoch\) is touched by fixture.fastStepper.step"
+}
+
+var impl stepper = fastStepper{}
+
+func laneDispatch(e *sim.Engine) { impl.step() }
+
+// Sink is the coordinator's merge target.
+type Sink struct {
+	//klocs:owner=shared
+	slot []int
+}
+
+var sink Sink
+
+var escaped []int
+
+var bufCh = make(chan []int, 1)
+
+// keep retains its argument in shared state: the canonical
+// publishing callee.
+func keep(b []int) { sink.slot = b }
+
+// scratch mutates the buffer in place without retaining it:
+// same-lane use, no publication.
+func scratch(b []int) {
+	if len(b) > 0 {
+		b[0] = 1
+	}
+}
+
+// lanePublish leaks the lane-owned buffer four ways; the scratch
+// call is the clean shape.
+func lanePublish(e *sim.Engine) {
+	sink.slot = shard.buf // want "lane-owned pointer fixture.Shard.buf is published to fixture.Sink.slot"
+	b := shard.buf
+	escaped = b // want "lane-owned pointer fixture.Shard.buf is published to fixture.escaped"
+	keep(b)     // want "lane-owned pointer fixture.Shard.buf is passed to a callee that publishes it"
+	scratch(b)
+}
+
+// laneSend leaks through a channel.
+func laneSend(e *sim.Engine) {
+	bufCh <- shard.buf // want "lane-owned pointer fixture.Shard.buf is sent on a channel"
+}
+
+// laneSuppressed documents a bring-up exception: the audited marker
+// silences the epoch-touch diagnostic. Silent.
+func laneSuppressed(e *sim.Engine) {
+	//klocs:ignore-phasecheck migration shim: this knob is coordinator-owned during bring-up
+	shard.mode = 2
+}

@@ -1,0 +1,24 @@
+// Package fixture proves the module-analyzer want harness fails
+// loudly for phasecheck: the expectations below are deliberately
+// wrong, and the meta test asserts every mismatch is reported. It is
+// never checked for zero problems the way the other fixtures are.
+package fixture
+
+import "kloc/internal/sim"
+
+type state struct {
+	//klocs:owner=epoch
+	mode int
+}
+
+var s state
+
+// tick really triggers the epoch-touch diagnostic, but the pattern
+// below does not match it.
+func tick(e *sim.Engine) {
+	s.mode++ // want "this pattern matches nothing"
+}
+
+// Quiet is clean, so the expectation below is a phantom the harness
+// must flag.
+func Quiet() {} // want "phantom phasecheck diagnostic expected here"

@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceDetectorEnabled: see race_scale_on_test.go.
+const raceDetectorEnabled = false

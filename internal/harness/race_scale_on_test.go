@@ -1,0 +1,11 @@
+//go:build race
+
+package harness
+
+// raceDetectorEnabled scales the sharded determinism tests down under
+// `go test -race`: the race detector costs ~7-10x wall on the
+// event-dense full-stack runs, and the properties under test
+// (byte-identity across worker counts and GOMAXPROCS) are
+// duration-independent — every epoch exercises the same barrier and
+// mail machinery.
+const raceDetectorEnabled = true

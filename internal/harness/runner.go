@@ -256,6 +256,43 @@ func (c RunConfig) buildMemory() *memsim.Memory {
 
 // Run executes one measured simulation run.
 func Run(cfg RunConfig) (*Result, error) {
+	p, err := prepare(cfg, sim.NewEngine())
+	if err != nil {
+		return nil, err
+	}
+	p.eng.Run()
+	return p.finish()
+}
+
+// preparedRun is one shard's fully-scheduled simulation: everything
+// Run does before driving the engine, captured so RunShards can build
+// several shards and drive them together under sim.Lanes. All fields
+// (and the state the scheduled closures mutate) belong to the one
+// goroutine driving p.eng — lane-confined under the sharded plan.
+type preparedRun struct {
+	cfg    RunConfig
+	eng    *sim.Engine
+	k      *kernel.Kernel
+	pol    kernel.Policy
+	wl     workload.Workload
+	tracer *trace.Tracer
+	plane  *fault.Plane
+	start  sim.Time
+
+	threads     int
+	done        int
+	globalOps   int
+	degradedOps uint64
+	stepErr     error
+	opCosts     metrics.Distribution
+	base        statSnapshot
+}
+
+// prepare builds the kernel stack for cfg on eng and schedules the
+// workload threads, leaving the engine ready to Run. It performs the
+// setup-phase warp (RunUntil the storage horizon) on the calling
+// goroutine, so it is init-phase: call it before the lanes start.
+func prepare(cfg RunConfig, eng *sim.Engine) (*preparedRun, error) {
 	cfg = cfg.withDefaults()
 	mem := cfg.buildMemory()
 	mem.SetMode(cfg.Accounting)
@@ -272,7 +309,6 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
 	k := kernel.New(eng, mem, pol)
 	k.FS.KlocAwareReadahead = cfg.KlocPrefetch
 	if cfg.ReadaheadWindow != 0 {
@@ -339,8 +375,12 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	k.Start()
 
-	threads := wl.Threads()
-	perThread := wl.TotalOps() / threads
+	p := &preparedRun{
+		cfg: cfg, eng: eng, k: k, pol: pol, wl: wl,
+		tracer: tracer, plane: plane, start: start,
+		threads: wl.Threads(),
+	}
+	perThread := wl.TotalOps() / p.threads
 	if perThread < 1 {
 		perThread = 1
 	}
@@ -350,32 +390,27 @@ func Run(cfg RunConfig) (*Result, error) {
 		eng.Schedule(moveAt, func(*sim.Engine) { k.SetTaskSocket(1) })
 	}
 
-	var done, globalOps int
-	var degradedOps uint64
-	var stepErr error
-	var opCosts metrics.Distribution
-	var base statSnapshot
-	eng.Schedule(start, func(*sim.Engine) { base = snapshot(k) })
-	for t := 0; t < threads; t++ {
+	eng.Schedule(start, func(*sim.Engine) { p.base = snapshot(k) })
+	for t := 0; t < p.threads; t++ {
 		t := t
 		rng := root.Fork()
 		remaining := perThread
 		var step func(*sim.Engine)
 		finish := func(e *sim.Engine) {
-			done++
-			if done == threads {
+			p.done++
+			if p.done == p.threads {
 				// All threads retired: stop the policy daemons too.
 				e.Halt()
 			}
 		}
 		step = func(e *sim.Engine) {
-			if stepErr != nil || remaining == 0 || e.Now() >= deadline {
+			if p.stepErr != nil || remaining == 0 || e.Now() >= deadline {
 				finish(e)
 				return
 			}
 			remaining--
 			if e.Now() >= start {
-				globalOps++
+				p.globalOps++
 			}
 			ctx := k.NewCtx(t)
 			if err := wl.Step(k, ctx, t, rng); err != nil {
@@ -383,9 +418,9 @@ func Run(cfg RunConfig) (*Result, error) {
 					// Graceful degradation: an injected (or induced)
 					// errno fails this operation, not the run. The op
 					// still pays the virtual time it consumed.
-					degradedOps++
+					p.degradedOps++
 				} else {
-					stepErr = fmt.Errorf("harness: %s thread %d: %w", wl.Name(), t, err)
+					p.stepErr = fmt.Errorf("harness: %s thread %d: %w", wl.Name(), t, err)
 					finish(e)
 					return
 				}
@@ -398,38 +433,44 @@ func Run(cfg RunConfig) (*Result, error) {
 				cost = 100
 			}
 			if e.Now() >= start {
-				opCosts.Observe(float64(cost))
+				p.opCosts.Observe(float64(cost))
 			}
 			e.After(cost, step)
 		}
 		// Stagger thread starts to avoid artificial convoys.
 		eng.Schedule(setupEnd.Add(sim.Duration(t)), step)
 	}
-	eng.Run()
-	if stepErr != nil {
-		return nil, stepErr
-	}
-	if done != threads {
-		return nil, fmt.Errorf("harness: %d/%d threads finished", done, threads)
-	}
+	return p, nil
+}
 
-	res := collect(cfg, k, pol, wl, globalOps, start, base)
-	res.OpCost = opCosts
-	res.DegradedOps = degradedOps
-	if plane != nil {
-		res.FaultsInjected = plane.Injected()
-		res.FaultTrace = plane.TraceString()
+// finish collects the run's Result after the engine drained. It runs
+// on the coordinator once the shard's lane is quiescent (barrier- or
+// init-phase).
+func (p *preparedRun) finish() (*Result, error) {
+	if p.stepErr != nil {
+		return nil, p.stepErr
+	}
+	if p.done != p.threads {
+		return nil, fmt.Errorf("harness: %d/%d threads finished", p.done, p.threads)
+	}
+	cfg, k := p.cfg, p.k
+	res := collect(cfg, k, p.pol, p.wl, p.globalOps, p.start, p.base)
+	res.OpCost = p.opCosts
+	res.DegradedOps = p.degradedOps
+	if p.plane != nil {
+		res.FaultsInjected = p.plane.Injected()
+		res.FaultTrace = p.plane.TraceString()
 	}
 	res.IORetries = k.FS.MQ.Retries
 	res.IOHardFailures = k.FS.MQ.HardFailures
 	res.Pressure = k.Pressure.Stats
 	res.ReserveDips = k.Mem.Stats.ReserveDips
 	res.ShrinkerStats = k.Pressure.ShrinkerStats()
-	res.Trace = tracer
-	res.TraceStats = tracer.Stats()
-	res.Perf = PerfMeters{Mem: k.Mem.PerfCounters(), TraceCommits: tracer.SummaryCommits()}
+	res.Trace = p.tracer
+	res.TraceStats = p.tracer.Stats()
+	res.Perf = PerfMeters{Mem: k.Mem.PerfCounters(), TraceCommits: p.tracer.SummaryCommits()}
 	res.Perf.CtxFresh, res.Perf.CtxReused = k.CtxPoolCounters()
-	res.Sanitize = k.SanitizeReport(eng.Now())
+	res.Sanitize = k.SanitizeReport(p.eng.Now())
 	if cfg.CrashReplay {
 		res.CrashReplayed = true
 		res.CrashViolation = crashReplayCheck(k)

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"kloc/internal/memsim"
+	"kloc/internal/sim"
+	"kloc/internal/trace"
+)
+
+func shardTestConfig() ShardsConfig {
+	// Byte-identity across worker counts holds per epoch, so the
+	// virtual duration only buys more of the same coverage — shrink it
+	// under the race detector to keep the package inside the default
+	// test timeout on slow hosts.
+	duration := 20 * sim.Millisecond
+	if raceDetectorEnabled {
+		duration = 5 * sim.Millisecond
+	}
+	return ShardsConfig{
+		Base: RunConfig{
+			PolicyName: "klocs",
+			Workload:   "rocksdb",
+			Seed:       42,
+			Duration:   duration,
+			Trace:      &trace.Config{Events: []string{"alloc.*", "memsim.migrate"}},
+		},
+		Shards:  3,
+		Workers: 2,
+	}
+}
+
+// fingerprint renders a Result's full observable surface (pointer
+// fields rendered through their exports) so runs can be compared
+// byte-for-byte.
+func fingerprint(r *Result) string {
+	traceText := ""
+	if r.Trace != nil {
+		traceText = r.Trace.TextString()
+	}
+	clone := *r
+	clone.Trace = nil
+	// AllocsByClassNode maps to pointers; render the pointees (sorted
+	// by node) or %+v would fingerprint heap addresses.
+	var allocs strings.Builder
+	nodes := make([]int, 0, len(clone.Mem.AllocsByClassNode))
+	for n := range clone.Mem.AllocsByClassNode {
+		nodes = append(nodes, int(n))
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&allocs, "node%d:%v ", n, *clone.Mem.AllocsByClassNode[memsim.NodeID(n)])
+	}
+	clone.Mem.AllocsByClassNode = nil
+	return fmt.Sprintf("%+v\n--allocs--\n%s\n--trace--\n%s", clone, allocs.String(), traceText)
+}
+
+// TestRunShardsMatchesSoloRuns: shard i of a fleet must be
+// byte-identical to a solo Run at ShardSeed(seed, i) — the sharded
+// executor changes scheduling, never results.
+func TestRunShardsMatchesSoloRuns(t *testing.T) {
+	cfg := shardTestConfig()
+	fleet, err := RunShards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Results) != cfg.Shards {
+		t.Fatalf("got %d results, want %d", len(fleet.Results), cfg.Shards)
+	}
+	for s, got := range fleet.Results {
+		solo := cfg.Base
+		solo.Seed = ShardSeed(cfg.Base.Seed, s)
+		want, err := Run(solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("shard %d diverged from its solo run", s)
+		}
+	}
+}
+
+// TestRunShardsWorkerCountInvariance: worker count is a wall-clock
+// knob only; per-shard results and traces must be byte-identical at
+// 1, 2, and 4 workers.
+func TestRunShardsWorkerCountInvariance(t *testing.T) {
+	prints := func(workers int) []string {
+		cfg := shardTestConfig()
+		cfg.Workers = workers
+		fleet, err := RunShards(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(fleet.Results))
+		for s, r := range fleet.Results {
+			out[s] = fingerprint(r)
+		}
+		return out
+	}
+	want := prints(1)
+	for _, workers := range []int{2, 4} {
+		if got := prints(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d produced different shard results than workers=1", workers)
+		}
+	}
+}
+
+// TestShardedDeterminismAcrossGOMAXPROCS is the satellite-2 gate: the
+// same seed at GOMAXPROCS=1, 2, and NumCPU must produce byte-identical
+// per-shard results and trace exports. (The perfbench suite pins the
+// same property for BENCH_perf.json rows, and the eval byte-stability
+// tests pin it for eval output.)
+func TestShardedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	run := func() []string {
+		cfg := shardTestConfig()
+		cfg.Workers = 4
+		fleet, err := RunShards(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(fleet.Results))
+		for s, r := range fleet.Results {
+			out[s] = fingerprint(r)
+		}
+		return out
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	want := run()
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(procs)
+		if got := run(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("GOMAXPROCS=%d changed shard results", procs)
+		}
+	}
+}
+
+// TestRunShardsEngineTrace: the coordinator tracer records barrier and
+// drain events without perturbing shard results, and is itself
+// deterministic.
+func TestRunShardsEngineTrace(t *testing.T) {
+	cfg := shardTestConfig()
+	plain, err := RunShards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.EngineTrace = &trace.Config{}
+	traced, err := RunShards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range plain.Results {
+		if fingerprint(plain.Results[s]) != fingerprint(traced.Results[s]) {
+			t.Fatalf("engine tracer perturbed shard %d", s)
+		}
+	}
+	if traced.EngineTrace == nil {
+		t.Fatal("engine tracer missing")
+	}
+	st := traced.EngineTrace.Stats()
+	var barriers, drains uint64
+	for _, nc := range st.ByName {
+		switch nc.Name {
+		case trace.SimBarrier:
+			barriers = nc.Count
+		case trace.SimLaneDrain:
+			drains = nc.Count
+		}
+	}
+	if barriers == 0 {
+		t.Fatal("no sim.barrier events recorded")
+	}
+	if barriers != traced.Lanes.Epochs {
+		t.Fatalf("sim.barrier count %d != epochs %d", barriers, traced.Lanes.Epochs)
+	}
+	if drains != uint64(cfg.Shards) {
+		t.Fatalf("sim.lane.drain count %d, want %d (one per shard)", drains, cfg.Shards)
+	}
+	// Same fleet, same seed: the coordinator trace is byte-stable too.
+	again, err := RunShards(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.EngineTrace.TextString() != again.EngineTrace.TextString() {
+		t.Fatal("coordinator trace differs between same-seed fleets")
+	}
+}

@@ -83,8 +83,11 @@ type Kernel struct {
 
 	// taskSocket is the socket the workload currently runs on (Optane
 	// experiments migrate the task mid-run). The migration is a
-	// scheduled barrier event, so the write is epoch-guarded.
-	//klocs:owner=epoch
+	// scheduled event on this kernel's own engine, so the write runs
+	// on the lane that owns the kernel — each shard constructs its
+	// own Kernel, making the field lane-confined like the rest of the
+	// per-shard state.
+	//klocs:owner=lane
 	taskSocket int
 
 	//klocs:owner=lane

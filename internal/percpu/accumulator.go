@@ -36,14 +36,14 @@ type Accumulator struct {
 	threshold int64
 	//klocs:owner=lane
 	lanes [][]int64 // [cpu][cell] pending net delta; owner-only plain access
-	//klocs:owner=shared
+	//klocs:owner=atomic
 	store []uint64 // committed values; sync/atomic access after init
 
 	// Adds counts every Add call; Commits counts shared-store writes
 	// (threshold-triggered plus non-empty flushes). Both are exact and
 	// deterministic — BENCH_perf.json reports Commits/Adds. Mutated
 	// through sync/atomic (Add runs on every lane); read via Counters.
-	//klocs:owner=shared
+	//klocs:owner=atomic
 	Adds, Commits uint64
 }
 

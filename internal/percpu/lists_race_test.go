@@ -1,0 +1,50 @@
+package percpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestListsConcurrentTouchCounters drives every CPU's list from its
+// own goroutine. The list bodies are per-CPU (each goroutine touches
+// only items private to its CPU, so the where-map keys never collide),
+// while Hits/Misses aggregate cross-lane through sync/atomic — the
+// satellite-1 conversion this test pins under -race, mirroring
+// TestAccumulatorConcurrentLanes.
+func TestListsConcurrentTouchCounters(t *testing.T) {
+	const (
+		cpus   = 8
+		rounds = 5000
+	)
+	l := New[int](cpus, 4)
+	// Pre-populate each CPU's private key range single-threaded so the
+	// where map gains no new keys during the concurrent phase (map
+	// writes are lane-unsafe by design; only the counters are shared).
+	for cpu := 0; cpu < cpus; cpu++ {
+		for k := 0; k < 4; k++ {
+			l.Touch(cpu, cpu*1000+k)
+		}
+	}
+	seeded := l.MissCount()
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < cpus; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l.Touch(cpu, cpu*1000+i%4)
+			}
+		}(cpu)
+	}
+	wg.Wait()
+
+	if got, want := l.HitCount(), uint64(cpus*rounds); got != want {
+		t.Errorf("hits = %d after concurrent touches, want %d", got, want)
+	}
+	if got := l.MissCount(); got != seeded {
+		t.Errorf("misses = %d, want %d (no new misses in the hit phase)", got, seeded)
+	}
+	if r := l.HitRate(); r <= 0 || r >= 1 {
+		t.Errorf("hit rate %v out of range", r)
+	}
+}

@@ -16,6 +16,8 @@
 // commutative counters may be batched.
 package percpu
 
+import "sync/atomic"
+
 // Entry is one cached item with its age. Age is reset on every touch
 // and incremented by LRU scans that decline to evict (§4.3). Entries
 // live in one CPU's list, touched only by that CPU's lane.
@@ -34,9 +36,12 @@ type Lists[T comparable] struct {
 
 	// Hits/Misses count Touch operations that found/missed the item —
 	// the ablation metric for the fast path. Touch runs on every lane,
-	// so these aggregate cross-lane: synchronization debt the sharded
-	// refactor must pay (per-lane split or accumulator cells).
-	//klocs:owner=shared
+	// so they aggregate cross-lane and go through sync/atomic, the same
+	// treatment as Accumulator's store: write via atomic adds in Touch,
+	// read via HitCount/MissCount/HitRate. Exported for the ablation
+	// tables; direct field access is rejected by the lockcheck
+	// atomic-mixing rule.
+	//klocs:owner=atomic
 	Hits, Misses uint64
 }
 
@@ -70,11 +75,11 @@ func (l *Lists[T]) Touch(cpu int, item T) bool {
 			e.Age = 0
 			copy(list[1:i+1], list[:i])
 			list[0] = e
-			l.Hits++
+			atomic.AddUint64(&l.Hits, 1)
 			return true
 		}
 	}
-	l.Misses++
+	atomic.AddUint64(&l.Misses, 1)
 	e := Entry[T]{Item: item}
 	if len(list) >= l.cap {
 		// Evict the tail.
@@ -176,11 +181,18 @@ func (l *Lists[T]) ColdestOn(cpu, threshold int) []T {
 // Len reports the length of cpu's list.
 func (l *Lists[T]) Len(cpu int) int { return len(l.lists[cpu]) }
 
+// HitCount reports Touch operations that found their item cached.
+func (l *Lists[T]) HitCount() uint64 { return atomic.LoadUint64(&l.Hits) }
+
+// MissCount reports Touch operations that missed.
+func (l *Lists[T]) MissCount() uint64 { return atomic.LoadUint64(&l.Misses) }
+
 // HitRate returns Hits/(Hits+Misses), or 0 with no traffic.
 func (l *Lists[T]) HitRate() float64 {
-	total := l.Hits + l.Misses
+	hits := atomic.LoadUint64(&l.Hits)
+	total := hits + atomic.LoadUint64(&l.Misses)
 	if total == 0 {
 		return 0
 	}
-	return float64(l.Hits) / float64(total)
+	return float64(hits) / float64(total)
 }

@@ -8,6 +8,16 @@
 // metrics (events/sec, sampled p95 ns/event, a long-block contention
 // proxy, allocs/op).
 //
+// The sweep also carries the parallel-engine lane sweep (ROADMAP item
+// 2): the same sharded fleet under worker counts 1/2/4, whose
+// deterministic results must be bit-identical across rows (enforced —
+// a digest mismatch fails the sweep) and whose wall section reports
+// both the measured elapsed time on this host and the modeled
+// critical-path "span" speedup derived from per-shard solo timings
+// (see PERFORMANCE.md: on a single-CPU host the measured wall barely
+// moves, and the span is the honest statement of what parallel
+// hardware would buy).
+//
 // Determinism contract: the sweep's simulated work and every
 // deterministic counter are byte-for-byte reproducible at a given seed
 // — the BENCH_perf.json report is identical across two same-seed runs.
@@ -33,8 +43,8 @@ import (
 )
 
 // SchemaVersion stamps BENCH_perf.json so downstream consumers can
-// detect shape changes.
-const SchemaVersion = 1
+// detect shape changes. Version 2 added the lane_sweep section.
+const SchemaVersion = 2
 
 // Config tunes a perf sweep.
 type Config struct {
@@ -121,6 +131,36 @@ type StageRow struct {
 	Wall *WallRow `json:"wall,omitempty"`
 }
 
+// LaneWall is the machine-dependent section of a lane-sweep row.
+// ElapsedNs/SpeedupVsSerial are measured on this host: on a 1-CPU
+// container they will show no parallel win, and that is the honest
+// number. SpanNs/SpanSpeedup are the modeled critical path — the
+// busiest worker's summed solo-shard time under the Lanes stride
+// assignment — i.e. what the epoch structure would buy on hardware
+// with one core per worker, stated as a model, never as a measurement.
+type LaneWall struct {
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	SpeedupVsSerial float64 `json:"speedup_vs_workers1"`
+	SpanNs          int64   `json:"span_ns"`
+	SpanSpeedup     float64 `json:"span_speedup"`
+}
+
+// LaneRow is one worker-count measurement of the sharded engine. The
+// deterministic fields (Ops, EventsFired, Epochs, ShardDigest) must be
+// identical on every row — worker count may change wall-clock only —
+// and the sweep fails if they are not.
+type LaneRow struct {
+	Workers     int    `json:"workers"`
+	Shards      int    `json:"shards"`
+	Ops         int    `json:"ops"`
+	EventsFired uint64 `json:"events_fired"`
+	Epochs      uint64 `json:"epochs"`
+	// ShardDigest hashes per-shard (ops, events fired): the byte-level
+	// witness that every worker count computed the same fleet.
+	ShardDigest string    `json:"shard_digest"`
+	Wall        *LaneWall `json:"wall,omitempty"`
+}
+
 // Report is the machine-readable sweep (BENCH_perf.json).
 type Report struct {
 	SchemaVersion int        `json:"schema_version"`
@@ -130,6 +170,9 @@ type Report struct {
 	Variants      []Variant  `json:"variants"`
 	Stages        []string   `json:"stages"`
 	Rows          []StageRow `json:"rows"`
+	// LaneSweep holds the parallel-engine rows (same fleet, workers
+	// 1/2/4). Deterministic fields identical across rows by contract.
+	LaneSweep []LaneRow `json:"lane_sweep,omitempty"`
 	// SpeedupVsBaseline maps "stage/variant" to the events/sec ratio
 	// against the same stage's baseline. Wall-derived, so present only
 	// under IncludeWall.
@@ -138,6 +181,27 @@ type Report struct {
 	// wallEPS keeps "stage/variant" -> events/sec in memory for
 	// SanityCheck even when IncludeWall kept it out of the JSON.
 	wallEPS map[string]float64
+	// laneWalls mirrors LaneSweep with the wall sections kept in memory
+	// for LaneLines even when IncludeWall left them out of the JSON.
+	laneWalls []*LaneWall
+}
+
+// LaneLines renders one stdout summary line per lane-sweep row,
+// including wall/span numbers whenever a clock was injected (they
+// print even when IncludeWall kept them out of the JSON).
+func (r *Report) LaneLines() []string {
+	var out []string
+	for i, row := range r.LaneSweep {
+		line := fmt.Sprintf("lane-sweep: workers=%d shards=%d ops=%d fired=%d epochs=%d digest=%s",
+			row.Workers, row.Shards, row.Ops, row.EventsFired, row.Epochs, row.ShardDigest)
+		if i < len(r.laneWalls) && r.laneWalls[i] != nil {
+			w := r.laneWalls[i]
+			line += fmt.Sprintf(" elapsed=%.1fms wall-speedup=%.2fx span-speedup=%.2fx",
+				float64(w.ElapsedNs)/1e6, w.SpeedupVsSerial, w.SpanSpeedup)
+		}
+		out = append(out, line)
+	}
+	return out
 }
 
 // JSON renders the report deterministically (map keys sort; two
@@ -370,6 +434,152 @@ func buildEnd2End(mode metrics.Mode, cfg Config) (*stageRun, error) {
 	}, nil
 }
 
+// laneSweepShards is the fleet size of the lane sweep: enough shards
+// that every swept worker count (1, 2, 4) divides the fleet evenly.
+const laneSweepShards = 4
+
+// laneWorkerCounts is the sweep axis: serial, half, and one worker per
+// shard.
+var laneWorkerCounts = []int{1, 2, 4}
+
+// laneDigest hashes per-shard (ops, events fired) with FNV-1a: the
+// determinism witness compared across worker counts.
+func laneDigest(rs *harness.ShardsResult) string {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for s, res := range rs.Results {
+		mix(uint64(s))
+		mix(uint64(res.Ops))
+		mix(rs.Lanes.Fired[s])
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// laneSpan models the epoch-parallel critical path from solo shard
+// timings: with L workers, Lanes runs shard s on worker s%L, so the
+// span is the busiest worker's summed solo time. span(1) is the serial
+// total; span(1)/span(L) is the modeled speedup parallel hardware
+// would deliver — the honest number when the host cannot grant real
+// cores (see PERFORMANCE.md).
+func laneSpan(solo []int64, workers int) int64 {
+	if len(solo) == 0 {
+		return 0
+	}
+	per := make([]int64, workers)
+	for s, v := range solo {
+		per[s%workers] += v
+	}
+	var max int64
+	for _, v := range per {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// laneSweep runs the same sharded fleet under each worker count,
+// verifies the deterministic results are bit-identical across rows,
+// and (with a clock) records measured elapsed wall plus the modeled
+// span speedup from per-shard solo timings.
+func laneSweep(cfg Config, rep *Report, t *harness.Table) error {
+	duration := 100 * sim.Millisecond
+	if cfg.Quick {
+		duration = 20 * sim.Millisecond
+	}
+	base := harness.RunConfig{
+		PolicyName: "klocs",
+		Workload:   "rocksdb",
+		Seed:       cfg.Seed,
+		Duration:   duration,
+		Accounting: metrics.DefaultMode(),
+	}
+
+	// Solo pass: each shard alone through plain harness.Run, timed.
+	// These feed only the span model, so they are skipped without a
+	// clock; results are discarded (the workers=1 fleet row is the
+	// deterministic reference).
+	var solo []int64
+	if cfg.Now != nil {
+		solo = make([]int64, laneSweepShards)
+		for s := 0; s < laneSweepShards; s++ {
+			scfg := base
+			scfg.Seed = harness.ShardSeed(base.Seed, s)
+			t0 := cfg.Now()
+			if _, err := harness.Run(scfg); err != nil {
+				return fmt.Errorf("perfbench: lane-sweep solo shard %d: %w", s, err)
+			}
+			solo[s] = cfg.Now() - t0
+		}
+	}
+
+	digest := ""
+	var serialElapsed int64
+	for _, workers := range laneWorkerCounts {
+		var t0 int64
+		if cfg.Now != nil {
+			t0 = cfg.Now()
+		}
+		rs, err := harness.RunShards(harness.ShardsConfig{
+			Base:    base,
+			Shards:  laneSweepShards,
+			Workers: workers,
+		})
+		if err != nil {
+			return fmt.Errorf("perfbench: lane-sweep workers=%d: %w", workers, err)
+		}
+		var elapsed int64
+		if cfg.Now != nil {
+			elapsed = cfg.Now() - t0
+		}
+		d := laneDigest(rs)
+		if digest == "" {
+			digest = d
+		} else if d != digest {
+			return fmt.Errorf("perfbench: lane-sweep: workers=%d changed the results (digest %s, want %s) — the sharded engine's determinism contract is broken", workers, d, digest)
+		}
+		ops := 0
+		for _, res := range rs.Results {
+			ops += res.Ops
+		}
+		var fired uint64
+		for _, f := range rs.Lanes.Fired {
+			fired += f
+		}
+		row := LaneRow{Workers: workers, Shards: laneSweepShards,
+			Ops: ops, EventsFired: fired, Epochs: rs.Lanes.Epochs, ShardDigest: d}
+		cells := []string{"lane-sweep", fmt.Sprintf("workers=%d", workers),
+			fmt.Sprintf("%d", fired), "-", "-", "-", "-"}
+		if cfg.Now != nil && elapsed > 0 {
+			if workers == 1 {
+				serialElapsed = elapsed
+			}
+			wall := &LaneWall{ElapsedNs: elapsed, SpanNs: laneSpan(solo, workers)}
+			if serialElapsed > 0 {
+				wall.SpeedupVsSerial = float64(serialElapsed) / float64(elapsed)
+			}
+			if total := laneSpan(solo, 1); total > 0 && wall.SpanNs > 0 {
+				wall.SpanSpeedup = float64(total) / float64(wall.SpanNs)
+			}
+			rep.laneWalls = append(rep.laneWalls, wall)
+			if cfg.IncludeWall {
+				row.Wall = wall
+			}
+			cells = append(cells, fmt.Sprintf("%.0f", float64(fired)/(float64(elapsed)/1e9)),
+				"-", "-", "-")
+		} else {
+			rep.laneWalls = append(rep.laneWalls, nil)
+			cells = append(cells, "-", "-", "-", "-")
+		}
+		rep.LaneSweep = append(rep.LaneSweep, row)
+		t.AddRow(cells...)
+	}
+	return nil
+}
+
 // measure executes one built stage instance, timing each block through
 // the injected clock (no-op clock when nil: the work still runs so the
 // deterministic counters are identical with and without timing).
@@ -441,7 +651,9 @@ func Run(cfg Config) (*harness.Table, *Report, error) {
 	t := &harness.Table{
 		Title: "Hot-path accounting — same simulated work under each variant",
 		Note: "deterministic core always; events/sec, p95 ns/event, long blocks (contention proxy) " +
-			"and allocs/op need an injected wall clock (see PERFORMANCE.md)",
+			"and allocs/op need an injected wall clock (see PERFORMANCE.md); lane-sweep rows run " +
+			"the same 4-shard fleet at each worker count — results identical by contract, " +
+			"wall + span detail on stdout and (with -perf-wall) in BENCH_perf.json",
 		Header: []string{"stage", "variant", "events", "acc-adds", "acc-commits",
 			"reused", "trc-commits", "ev/s", "p95ns", "long", "allocs/op"},
 	}
@@ -500,6 +712,9 @@ func Run(cfg Config) (*harness.Table, *Report, error) {
 	}
 	if cfg.IncludeWall && len(speedup) > 0 {
 		rep.SpeedupVsBaseline = speedup
+	}
+	if err := laneSweep(cfg, rep, t); err != nil {
+		return nil, nil, err
 	}
 	return t, rep, nil
 }

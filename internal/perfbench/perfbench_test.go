@@ -106,6 +106,46 @@ func TestIncludeWallPublishesMetrics(t *testing.T) {
 	}
 }
 
+// TestLaneSweep: the parallel-engine rows cover every worker count
+// with identical deterministic results (the sweep itself errors on a
+// digest mismatch; this pins the shape), wall sections under
+// IncludeWall, and — under a constant-step fake clock, where every
+// solo shard times identically — a span-model speedup exactly equal
+// to the worker count.
+func TestLaneSweep(t *testing.T) {
+	_, rep, err := Run(Config{Seed: 42, Quick: true, Now: fakeClock(5), IncludeWall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LaneSweep) != len(laneWorkerCounts) {
+		t.Fatalf("%d lane rows, want %d", len(rep.LaneSweep), len(laneWorkerCounts))
+	}
+	first := rep.LaneSweep[0]
+	if first.Ops == 0 || first.EventsFired == 0 {
+		t.Fatalf("lane sweep did no work: %+v", first)
+	}
+	for i, row := range rep.LaneSweep {
+		if row.Workers != laneWorkerCounts[i] {
+			t.Fatalf("row %d: workers %d, want %d", i, row.Workers, laneWorkerCounts[i])
+		}
+		if row.Ops != first.Ops || row.EventsFired != first.EventsFired ||
+			row.Epochs != first.Epochs || row.ShardDigest != first.ShardDigest {
+			t.Fatalf("workers=%d row diverges from workers=%d: %+v vs %+v",
+				row.Workers, first.Workers, row, first)
+		}
+		if row.Wall == nil {
+			t.Fatalf("workers=%d: missing wall section under IncludeWall", row.Workers)
+		}
+		if want := float64(row.Workers); row.Wall.SpanSpeedup != want {
+			t.Fatalf("workers=%d: span speedup %.2f, want exactly %.2f under a constant-step clock",
+				row.Workers, row.Wall.SpanSpeedup, want)
+		}
+	}
+	if got := len(rep.LaneLines()); got != len(rep.LaneSweep) {
+		t.Fatalf("%d lane lines, want %d", got, len(rep.LaneSweep))
+	}
+}
+
 // TestSanityCheckNeedsClock: without an injected clock there is
 // nothing to check, and saying so beats vacuously passing.
 func TestSanityCheckNeedsClock(t *testing.T) {

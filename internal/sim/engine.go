@@ -85,6 +85,14 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Schedule arranges for fn to run at the given absolute time. Scheduling
 // in the past panics: it indicates a broken cost model.
+//
+// Schedule is pinned lane-phase: it mutates the engine's own queue, so
+// it runs in the phase of whoever owns the engine at the call — the
+// lane's worker during an epoch, or the barrier coordinator delivering
+// cross-shard mail while every lane is parked (ownership of a quiescent
+// engine transfers to the coordinator; see Lanes.barrier).
+//
+//klocs:phase=lane
 func (e *Engine) Schedule(at Time, fn func(*Engine)) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
@@ -136,6 +144,20 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	e.halted = false
 	for !e.halted && e.Step() {
+	}
+}
+
+// runThrough fires events with time <= deadline, leaving later events
+// queued and the clock at the last fired event (it never coasts
+// forward the way RunUntil does). A halted engine stays halted and
+// fires nothing. This is the epoch body of the sharded executor
+// (Lanes): because the clock only moves when events fire, a shard
+// driven through epoch slices ends a run with exactly the clock a
+// plain Run would have produced — the byte-identity the lane
+// determinism tests pin.
+func (e *Engine) runThrough(deadline Time) {
+	for !e.halted && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
 	}
 }
 

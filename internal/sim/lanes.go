@@ -1,0 +1,296 @@
+package sim
+
+import "sync"
+
+// Lanes is the sharded executor of ROADMAP item 2: it drives several
+// independent Engines ("shards") through lock-step virtual-time
+// epochs, running shards concurrently inside an epoch and
+// synchronizing at a barrier between epochs. Determinism is the
+// contract — a shard driven by Lanes fires exactly the events, in
+// exactly the order, at exactly the clock values, that a plain
+// Engine.Run would have fired, regardless of how many OS workers the
+// host grants. The only coupling between shards is the Outbox: a
+// shard may post an event to another shard during an epoch, and the
+// coordinator delivers all posts at the next barrier in canonical
+// (shard index, post index) order, clamped to the following epoch so
+// the destination never observes a time in its own past.
+//
+// Phase taxonomy (enforced by the phasecheck analyzer, DESIGN.md §15):
+//   - lane:    code running on one lane's worker during an epoch; may
+//     touch only that shard's owner=lane state.
+//   - barrier: code running on the coordinator while every lane is
+//     quiescent; the only place owner=epoch state may change and
+//     cross-shard mail is exchanged.
+//   - init:    single-goroutine construction before Run.
+//
+// All coordinator fields are owner=epoch: they are read by lane
+// workers only via the values the coordinator hands them (engine
+// pointers fixed at Attach time) and mutated only between epochs.
+type Lanes struct {
+	// workers is the number of OS goroutines used inside an epoch.
+	// It affects wall-clock only, never results.
+	//klocs:owner=init
+	workers int
+	// quantum is the epoch width in virtual time. Any positive value
+	// is correct; it trades barrier overhead against lane slack.
+	//klocs:owner=init
+	quantum Duration
+	//klocs:owner=epoch
+	engines []*Engine
+	//klocs:owner=epoch
+	outboxes []*Outbox
+	//klocs:owner=epoch
+	barrierFns []BarrierFunc
+	// finished tracks shards observed drained (or halted) at the last
+	// barrier, so drains are announced once per drain.
+	//klocs:owner=epoch
+	finished []bool
+	//klocs:owner=epoch
+	epochs uint64
+	//klocs:owner=epoch
+	delivered uint64
+}
+
+// Outbox carries one shard's cross-lane posts for the current epoch.
+// During an epoch it is written only by the goroutine running its
+// shard; the coordinator drains it at the barrier, after the
+// epoch-end WaitGroup join (which is the happens-before edge — no
+// atomics are needed).
+type Outbox struct {
+	//klocs:owner=lane
+	posts []laneDelivery
+}
+
+// laneDelivery is one pending cross-shard event, immutable after the
+// Post that constructs it (the fields classify as inferred init).
+type laneDelivery struct {
+	dst int
+	at  Time
+	fn  func(*Engine)
+}
+
+// Post schedules fn on shard dst at virtual time at. The event is
+// held until the current epoch's barrier and delivered there; if at
+// falls inside the current epoch it is clamped forward to the first
+// tick of the next epoch, so delivery order — (source shard, post
+// order) at the barrier — is canonical and worker-count independent.
+func (o *Outbox) Post(dst int, at Time, fn func(*Engine)) {
+	o.posts = append(o.posts, laneDelivery{dst: dst, at: at, fn: fn})
+}
+
+// BarrierInfo is the coordinator's report to AtBarrier hooks: which
+// epoch just ended, the latest shard clock, how many cross-lane posts
+// were delivered at this barrier, and which shards drained during the
+// epoch. NewlyDrained lists a shard again if cross-lane mail revived
+// it and it drained a second time.
+type BarrierInfo struct {
+	Epoch uint64
+	Now   Time
+	// Delivered counts cross-lane posts handed over at this barrier.
+	Delivered int
+	// NewlyDrained lists shards that ran out of events this epoch, in
+	// shard-index order.
+	NewlyDrained []int
+}
+
+// BarrierFunc runs on the coordinator at every barrier, while all
+// lanes are quiescent. It may touch epoch state freely; phasecheck
+// treats AtBarrier arguments as barrier-phase roots.
+type BarrierFunc func(BarrierInfo)
+
+// NewLanes returns a coordinator that runs epochs of the given
+// virtual-time quantum on the given number of workers. workers < 1
+// and quantum <= 0 fall back to 1 and one millisecond.
+func NewLanes(workers int, quantum Duration) *Lanes {
+	if workers < 1 {
+		workers = 1
+	}
+	if quantum <= 0 {
+		quantum = Millisecond
+	}
+	return &Lanes{workers: workers, quantum: quantum}
+}
+
+// Attach registers an engine as the next shard and returns its shard
+// index. Attach is init-phase: call it before Run.
+func (l *Lanes) Attach(e *Engine) int {
+	l.engines = append(l.engines, e)
+	l.outboxes = append(l.outboxes, &Outbox{})
+	l.finished = append(l.finished, false)
+	return len(l.engines) - 1
+}
+
+// Shards reports how many engines are attached.
+func (l *Lanes) Shards() int { return len(l.engines) }
+
+// Workers reports the worker count results never depend on.
+func (l *Lanes) Workers() int { return l.workers }
+
+// Outbox returns the cross-lane outbox for a shard. Code running on
+// that shard's engine may Post into it during an epoch.
+func (l *Lanes) Outbox(shard int) *Outbox { return l.outboxes[shard] }
+
+// AtBarrier registers fn to run at every epoch barrier. Init-phase.
+func (l *Lanes) AtBarrier(fn BarrierFunc) {
+	l.barrierFns = append(l.barrierFns, fn)
+}
+
+// LaneStats summarizes a Run for benchmarks and tests.
+type LaneStats struct {
+	// Epochs is the number of barrier intervals executed. Empty
+	// stretches of virtual time are skipped, not counted.
+	Epochs uint64
+	// Delivered is the total number of cross-lane posts handed over.
+	Delivered uint64
+	// Fired is the per-shard event count.
+	Fired []uint64
+}
+
+// Stats reports coordinator counters. Barrier- or init-phase only.
+func (l *Lanes) Stats() LaneStats {
+	s := LaneStats{Epochs: l.epochs, Delivered: l.delivered}
+	for _, e := range l.engines {
+		s.Fired = append(s.Fired, e.Fired())
+	}
+	return s
+}
+
+// pending reports the earliest queued event time across live shards
+// and whether any shard has work. Halted shards are skipped: Halt is
+// a shard-local stop, matching Engine.Run semantics.
+func (l *Lanes) pending() (Time, bool) {
+	var earliest Time
+	found := false
+	for _, e := range l.engines {
+		if e.halted || len(e.queue) == 0 {
+			continue
+		}
+		if at := e.queue[0].at; !found || at < earliest {
+			earliest = at
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// Run drives all shards to completion: each epoch covers one quantum
+// of virtual time, lanes run concurrently within it, and the
+// coordinator delivers cross-lane mail and fires AtBarrier hooks
+// between epochs. Run returns when every shard is drained or halted
+// and no mail is pending. It is not reentrant and must not run
+// concurrently with Attach/AtBarrier.
+func (l *Lanes) Run() {
+	for {
+		earliest, ok := l.pending()
+		if !ok && !l.mailPending() {
+			return
+		}
+		if !ok {
+			// Every queue is empty but mail is waiting: place the
+			// barrier at the latest shard clock so deliveries clamp
+			// consistently.
+			earliest = l.maxNow()
+		}
+		// Epochs are absolute windows [k*quantum, (k+1)*quantum-1] of
+		// virtual time, so the slicing depends only on event times,
+		// never on worker count.
+		epochIdx := earliest / Time(l.quantum)
+		deadline := (epochIdx+1)*Time(l.quantum) - 1
+		l.runEpoch(deadline)
+		l.barrier(deadline)
+	}
+}
+
+// mailPending reports whether any outbox holds undelivered posts.
+func (l *Lanes) mailPending() bool {
+	for _, o := range l.outboxes {
+		if len(o.posts) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maxNow reports the latest shard clock.
+func (l *Lanes) maxNow() Time {
+	var max Time
+	for _, e := range l.engines {
+		if e.now > max {
+			max = e.now
+		}
+	}
+	return max
+}
+
+// runEpoch fires every shard's events with time <= deadline. Shard s
+// runs on worker s % workers, so a single-worker run executes shards
+// in index order on the calling goroutine — and because shards share
+// no state inside an epoch, every schedule produces identical
+// per-shard results.
+func (l *Lanes) runEpoch(deadline Time) {
+	if l.workers == 1 || len(l.engines) == 1 {
+		for _, e := range l.engines {
+			e.runThrough(deadline)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < l.workers && w < len(l.engines); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < len(l.engines); s += l.workers {
+				l.engines[s].runThrough(deadline)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// barrier runs on the coordinator between epochs: it drains every
+// outbox in shard-index order (post order within a shard), schedules
+// each post on its destination clamped to the next epoch's first
+// tick, records newly drained shards, and fires the AtBarrier hooks.
+//
+//klocs:phase=barrier
+func (l *Lanes) barrier(deadline Time) {
+	boundary := deadline + 1
+	deliveredHere := 0
+	for _, o := range l.outboxes {
+		for _, d := range o.posts {
+			at := d.at
+			if at < boundary {
+				at = boundary
+			}
+			dst := l.engines[d.dst]
+			if dst.halted {
+				continue
+			}
+			dst.Schedule(at, d.fn)
+			deliveredHere++
+		}
+		o.posts = o.posts[:0]
+	}
+	l.delivered += uint64(deliveredHere)
+	l.epochs++
+
+	var drained []int
+	for s, e := range l.engines {
+		done := e.halted || len(e.queue) == 0
+		if done && !l.finished[s] {
+			drained = append(drained, s)
+		}
+		l.finished[s] = done
+	}
+	if len(l.barrierFns) > 0 {
+		info := BarrierInfo{
+			Epoch:        l.epochs - 1,
+			Now:          l.maxNow(),
+			Delivered:    deliveredHere,
+			NewlyDrained: drained,
+		}
+		for _, fn := range l.barrierFns {
+			fn(info)
+		}
+	}
+}

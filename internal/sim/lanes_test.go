@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// fireLog records (shard, time, tag) tuples as events fire, so runs
+// can be compared byte-for-byte.
+type fireLog struct {
+	lines []string
+}
+
+func (f *fireLog) add(shard int, at Time, tag string) {
+	f.lines = append(f.lines, fmt.Sprintf("s%d t=%d %s", shard, at, tag))
+}
+
+// buildWorkload schedules a deterministic self-extending chain of
+// events on e: each event advances a forked RNG stream and reschedules
+// until steps are exhausted. It is the same workload shape harness
+// threads use (closures over shard-local state only).
+func buildWorkload(e *Engine, shard int, seed uint64, steps int, log *fireLog) {
+	rng := NewRNG(seed)
+	var step func(*Engine)
+	remaining := steps
+	step = func(eng *Engine) {
+		log.add(shard, eng.Now(), fmt.Sprintf("step r=%d", rng.Intn(1000)))
+		remaining--
+		if remaining > 0 {
+			eng.After(Duration(1+rng.Intn(int(3*Millisecond))), step)
+		}
+	}
+	e.Schedule(Time(shard)*Time(Microsecond), step)
+}
+
+func TestLanesSingleShardMatchesSequential(t *testing.T) {
+	seq := NewEngine()
+	seqLog := &fireLog{}
+	buildWorkload(seq, 0, 42, 200, seqLog)
+	seq.Run()
+
+	sharded := NewEngine()
+	shLog := &fireLog{}
+	buildWorkload(sharded, 0, 42, 200, shLog)
+	lanes := NewLanes(1, Millisecond)
+	lanes.Attach(sharded)
+	lanes.Run()
+
+	if !reflect.DeepEqual(seqLog.lines, shLog.lines) {
+		t.Fatalf("sharded run diverged from sequential:\nseq: %v\nlanes: %v",
+			seqLog.lines[:min(5, len(seqLog.lines))], shLog.lines[:min(5, len(shLog.lines))])
+	}
+	if seq.Now() != sharded.Now() || seq.Fired() != sharded.Fired() {
+		t.Fatalf("clock/fired diverged: seq (%d, %d) vs lanes (%d, %d)",
+			seq.Now(), seq.Fired(), sharded.Now(), sharded.Fired())
+	}
+}
+
+// runFleet runs shards independent workloads under the given worker
+// count and returns the per-shard logs.
+func runFleet(t *testing.T, shards, workers int) [][]string {
+	t.Helper()
+	lanes := NewLanes(workers, Millisecond)
+	logs := make([]*fireLog, shards)
+	for s := 0; s < shards; s++ {
+		e := NewEngine()
+		logs[s] = &fireLog{}
+		buildWorkload(e, s, 42+uint64(s)*977, 150, logs[s])
+		lanes.Attach(e)
+	}
+	lanes.Run()
+	out := make([][]string, shards)
+	for s := range logs {
+		out[s] = logs[s].lines
+	}
+	return out
+}
+
+func TestLanesWorkerCountInvariance(t *testing.T) {
+	want := runFleet(t, 4, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := runFleet(t, 4, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d produced different per-shard logs than workers=1", workers)
+		}
+	}
+}
+
+func TestLanesGOMAXPROCSInvariance(t *testing.T) {
+	want := runFleet(t, 4, 4)
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := runFleet(t, 4, 4)
+		runtime.GOMAXPROCS(prev)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("GOMAXPROCS=%d produced different per-shard logs", procs)
+		}
+	}
+}
+
+func TestLanesCrossLanePosts(t *testing.T) {
+	lanes := NewLanes(2, Millisecond)
+	engines := make([]*Engine, 3)
+	for s := range engines {
+		engines[s] = NewEngine()
+		lanes.Attach(engines[s])
+	}
+	log := &fireLog{}
+	// Shards 1 and 2 both post to shard 0 during epoch 0, at a time
+	// inside epoch 0: delivery must clamp to epoch 1's first tick and
+	// arrive in (source shard, post order) order.
+	for _, src := range []int{2, 1} {
+		src := src
+		engines[src].Schedule(Time(src)*10, func(eng *Engine) {
+			out := lanes.Outbox(src)
+			out.Post(0, eng.Now(), func(*Engine) { log.add(0, 0, fmt.Sprintf("from%d-a", src)) })
+			out.Post(0, eng.Now(), func(*Engine) { log.add(0, 0, fmt.Sprintf("from%d-b", src)) })
+		})
+	}
+	// Keep shard 0 alive into epoch 1 so delivered events have company.
+	engines[0].Schedule(Time(Millisecond)+5, func(eng *Engine) { log.add(0, eng.Now(), "native") })
+	lanes.Run()
+
+	// Delivered posts all land at the epoch-1 boundary, before shard
+	// 0's native event at boundary+5. Outboxes drain in shard-index
+	// order: shard 1's pair, then shard 2's pair.
+	want := []string{
+		"s0 t=0 from1-a",
+		"s0 t=0 from1-b",
+		"s0 t=0 from2-a",
+		"s0 t=0 from2-b",
+		fmt.Sprintf("s0 t=%d native", Time(Millisecond)+5),
+	}
+	if !reflect.DeepEqual(log.lines, want) {
+		t.Fatalf("cross-lane delivery order:\n got %v\nwant %v", log.lines, want)
+	}
+	if st := lanes.Stats(); st.Delivered != 4 {
+		t.Fatalf("Delivered = %d, want 4", st.Delivered)
+	}
+}
+
+func TestLanesBarrierHooks(t *testing.T) {
+	lanes := NewLanes(1, Millisecond)
+	e := NewEngine()
+	lanes.Attach(e)
+	// Two events one epoch apart: epoch 0 and epoch 2 (epoch 1 is
+	// empty and must be skipped, not counted).
+	e.Schedule(10, func(*Engine) {})
+	e.Schedule(2*Time(Millisecond)+10, func(*Engine) {})
+	var infos []BarrierInfo
+	lanes.AtBarrier(func(info BarrierInfo) { infos = append(infos, info) })
+	lanes.Run()
+
+	if len(infos) != 2 {
+		t.Fatalf("barriers fired %d times, want 2 (empty epoch must be skipped)", len(infos))
+	}
+	if infos[0].Epoch != 0 || infos[1].Epoch != 1 {
+		t.Fatalf("epoch numbering: got %d, %d", infos[0].Epoch, infos[1].Epoch)
+	}
+	// After epoch 0 the queue still holds the epoch-2 event, so the
+	// shard drains only at the second barrier.
+	if len(infos[0].NewlyDrained) != 0 {
+		t.Fatalf("NewlyDrained at first barrier = %v, want none", infos[0].NewlyDrained)
+	}
+	if !reflect.DeepEqual(infos[1].NewlyDrained, []int{0}) {
+		t.Fatalf("NewlyDrained at last barrier = %v, want [0]", infos[1].NewlyDrained)
+	}
+	if st := lanes.Stats(); st.Epochs != 2 || st.Fired[0] != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLanesHalt(t *testing.T) {
+	lanes := NewLanes(2, Millisecond)
+	a, b := NewEngine(), NewEngine()
+	lanes.Attach(a)
+	lanes.Attach(b)
+	var aFired, bFired int
+	a.Schedule(1, func(eng *Engine) { aFired++; eng.Halt() })
+	a.Schedule(2, func(*Engine) { aFired++ })
+	for i := 0; i < 5; i++ {
+		at := Time(i) * Time(Millisecond)
+		b.Schedule(at, func(*Engine) { bFired++ })
+	}
+	lanes.Run()
+	if aFired != 1 {
+		t.Fatalf("halted shard fired %d events, want 1", aFired)
+	}
+	if bFired != 5 {
+		t.Fatalf("live shard fired %d events, want 5", bFired)
+	}
+}
+
+func TestLanesPostToDrainedShardRevives(t *testing.T) {
+	lanes := NewLanes(1, Millisecond)
+	a, b := NewEngine(), NewEngine()
+	lanes.Attach(a)
+	lanes.Attach(b)
+	var got []string
+	// Shard 1 drains in epoch 0; shard 0 posts to it in epoch 2.
+	b.Schedule(1, func(*Engine) { got = append(got, "b-early") })
+	a.Schedule(2*Time(Millisecond)+1, func(eng *Engine) {
+		lanes.Outbox(0).Post(1, eng.Now(), func(*Engine) { got = append(got, "b-revived") })
+	})
+	lanes.Run()
+	want := []string{"b-early", "b-revived"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

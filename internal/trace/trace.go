@@ -91,6 +91,13 @@ const (
 	// ChaosMinimize: the delta-debugging minimizer finished shrinking a
 	// violating schedule (size = minimal injection count).
 	ChaosMinimize Name = "chaos.minimize"
+	// SimBarrier: the sharded executor's coordinator completed an epoch
+	// barrier (ctx = epoch index, obj/size = cross-lane posts delivered
+	// at it).
+	SimBarrier Name = "sim.barrier"
+	// SimLaneDrain: one event lane ran out of work at a barrier (ctx =
+	// epoch index, obj/node = the drained shard).
+	SimLaneDrain Name = "sim.lane.drain"
 )
 
 // Names lists the catalog in stable (documentation) order.
@@ -98,7 +105,7 @@ func Names() []Name {
 	return []Name{AllocSlab, AllocPage, ObjFree, JournalCommit, BlockDispatch,
 		Migrate, NetRx, NetTx, KswapdWake, DirectReclaim, OOMSpill,
 		LBRoute, LBRetry, LBHedge, LBShed, LBBreaker, MachineCrash, MachineHealth,
-		ChaosSchedule, ChaosViolation, ChaosMinimize}
+		ChaosSchedule, ChaosViolation, ChaosMinimize, SimBarrier, SimLaneDrain}
 }
 
 // Event is one emitted trace record.
@@ -365,6 +372,15 @@ func matchAny(patterns []string, s string) bool {
 // recorded events and summary totals are byte-identical in every
 // accounting mode; the fast paths only change how many shared-store
 // writes the bookkeeping costs (DESIGN.md §13).
+//
+// The phase pin below asserts per-instance confinement: a Tracer is
+// only ever driven by the goroutine that owns its attached kernel (or,
+// for the harness's dedicated engine tracer, by the coordinator), so
+// even though Emit is reachable from both lane and barrier callers,
+// each *instance* sees a single caller phase and its plain counters
+// are safe (DESIGN.md §15).
+//
+//klocs:phase=lane
 func (t *Tracer) Emit(name Name, at sim.Time, ctx, obj uint64, class string, node int, size int64) {
 	if t == nil {
 		return
